@@ -1,0 +1,64 @@
+package nmplace
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/pgrail"
+	"repro/internal/route"
+)
+
+// CongestionMap routes the design's current placement and returns the Eq. 3
+// congestion map (row-major, nx×ny) together with the grid dimensions. The
+// map is what the paper's Fig. 1 visualizes and what all three techniques
+// consume.
+func CongestionMap(d *Design, gridHint int) (cong []float64, nx, ny int) {
+	if gridHint == 0 {
+		gridHint = core.DefaultGridHint(len(d.Cells))
+	}
+	g := route.NewGrid(d, gridHint)
+	res := route.NewRouter(d, g).Route()
+	return res.Congestion, g.NX, g.NY
+}
+
+// CongestionClass labels one G-cell of a congestion decomposition.
+type CongestionClass uint8
+
+// Congestion classes of DecomposeCongestion.
+const (
+	// NotCongested marks G-cells without overflow.
+	NotCongested CongestionClass = iota
+	// LocalCongestion marks overflowed G-cells dominated by cell area —
+	// relocating cells (cell inflation) relieves them (paper Fig. 1a left).
+	LocalCongestion
+	// GlobalCongestion marks overflowed G-cells dominated by through-nets —
+	// only net moving relieves them (paper Fig. 1a right).
+	GlobalCongestion
+)
+
+// DecomposeCongestion routes the design and classifies every G-cell as
+// uncongested, locally congested (cell-driven) or globally congested
+// (net-driven), reproducing the paper's Fig. 1 distinction. Returns the
+// class map (row-major, nx×ny) and the grid dimensions.
+func DecomposeCongestion(d *Design, gridHint int) (classes []CongestionClass, nx, ny int) {
+	if gridHint == 0 {
+		gridHint = core.DefaultGridHint(len(d.Cells))
+	}
+	g := route.NewGrid(d, gridHint)
+	res := route.NewRouter(d, g).Route()
+	dec := eval.Decompose(d, res)
+	out := make([]CongestionClass, len(dec.Class))
+	for i, c := range dec.Class {
+		out[i] = CongestionClass(c)
+	}
+	return out, g.NX, g.NY
+}
+
+// SelectPGRails performs the paper's Sec. III-C rail pre-selection: rails
+// are cut by 10%-expanded macro bounding boxes and only pieces at least 0.2×
+// the die extent survive (Fig. 4). The returned rails are the ones whose
+// surrounding density the DPA technique adjusts.
+func SelectPGRails(d *Design) []PGRail { return pgrail.SelectRails(d) }
+
+// DefaultGridHint returns the bin/G-cell resolution the placer would choose
+// for a design of the given cell count.
+func DefaultGridHint(numCells int) int { return core.DefaultGridHint(numCells) }

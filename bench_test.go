@@ -1,0 +1,233 @@
+package nmplace
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index):
+//
+//	BenchmarkTable1*        — Table I  (Xplace / Xplace-Route / Ours)
+//	BenchmarkTable2Ablation — Table II (MCI / DC / DPA ladder)
+//	BenchmarkFig1Congestion — Fig. 1   (local vs global decomposition)
+//	BenchmarkFig3NetMoving  — Fig. 3   (virtual-cell gradient assembly)
+//	BenchmarkFig4PGRails    — Fig. 4   (PG-rail selection)
+//	BenchmarkAblation*      — the extra design-choice ablations A1–A3
+//
+// Each benchmark prints the paper-relevant series through b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the rows; absolute numbers are
+// oracle-specific but the cross-mode ratios are the reproduction target.
+// Table benches run on a representative subset for time; `go run ./cmd/table1`
+// runs the full 20-design suite.
+
+import (
+	"testing"
+
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/synth"
+)
+
+// benchDesigns is the representative Table I subset used by the benchmarks:
+// one design per family spanning hot and calm routability regimes.
+var benchDesigns = []string{"fft_b", "des_perf_1", "pci_bridge32_a", "matrix_mult_b"}
+
+func placeOnce(b *testing.B, design string, mode core.Mode, tech core.Techniques) *core.Result {
+	b.Helper()
+	d, err := synth.Generate(design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Place(d, core.Options{Mode: mode, Tech: tech})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func benchMode(b *testing.B, mode core.Mode) {
+	for i := 0; i < b.N; i++ {
+		var drvs, drwl float64
+		for _, name := range benchDesigns {
+			res := placeOnce(b, name, mode, core.AllTechniques())
+			drvs += float64(res.Metrics.DRVs)
+			drwl += res.Metrics.DRWL
+		}
+		b.ReportMetric(drvs/float64(len(benchDesigns)), "DRVs/design")
+		b.ReportMetric(drwl/float64(len(benchDesigns)), "DRWL/design")
+	}
+}
+
+// BenchmarkTable1Xplace is the Table I "Xplace" column (wirelength only).
+func BenchmarkTable1Xplace(b *testing.B) { benchMode(b, core.ModeWirelength) }
+
+// BenchmarkTable1XplaceRoute is the Table I "Xplace-Route" column.
+func BenchmarkTable1XplaceRoute(b *testing.B) { benchMode(b, core.ModeBaselineRoute) }
+
+// BenchmarkTable1Ours is the Table I "Ours" column (full framework).
+func BenchmarkTable1Ours(b *testing.B) { benchMode(b, core.ModeOurs) }
+
+// BenchmarkTable2Ablation runs the four Table II rows on one congested
+// design and reports the DRV count per configuration.
+func BenchmarkTable2Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable2([]string{"fft_b"}, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Mode {
+			case "baseline (Xplace-Route)":
+				b.ReportMetric(float64(r.DRVs), "DRVs-baseline")
+			case "MCI":
+				b.ReportMetric(float64(r.DRVs), "DRVs-MCI")
+			case "MCI+DC":
+				b.ReportMetric(float64(r.DRVs), "DRVs-MCI+DC")
+			case "MCI+DC+DPA":
+				b.ReportMetric(float64(r.DRVs), "DRVs-full")
+			}
+		}
+	}
+}
+
+// BenchmarkFig1Congestion measures the congestion decomposition of Fig. 1 on
+// a placed design and reports the local/global split.
+func BenchmarkFig1Congestion(b *testing.B) {
+	d, err := GenerateBenchmark("fft_b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Place(d, Options{Mode: ModeXplace}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var local, global int
+	for i := 0; i < b.N; i++ {
+		classes, _, _ := DecomposeCongestion(d, 0)
+		local, global = 0, 0
+		for _, c := range classes {
+			switch c {
+			case LocalCongestion:
+				local++
+			case GlobalCongestion:
+				global++
+			}
+		}
+	}
+	b.ReportMetric(float64(local), "local-gcells")
+	b.ReportMetric(float64(global), "global-gcells")
+}
+
+// BenchmarkFig3NetMoving measures one full congestion-gradient assembly
+// (virtual cells + projected forces, Algorithms 1–2) on a routed design.
+func BenchmarkFig3NetMoving(b *testing.B) {
+	d, err := GenerateBenchmark("fft_b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Place(d, Options{Mode: ModeXplace, SkipLegalize: true}); err != nil {
+		b.Fatal(err)
+	}
+	grid := route.NewGrid(d, 64)
+	res := route.NewRouter(d, grid).Route()
+	m := congestion.New(d, grid)
+	m.Update(res)
+	grad := make([]float64, 2*len(d.Cells))
+	b.ResetTimer()
+	var virt int
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		st := m.Gradients(grad)
+		virt = st.VirtualCells
+	}
+	b.ReportMetric(float64(virt), "virtual-cells")
+}
+
+// BenchmarkFig4PGRails measures PG-rail selection (Fig. 4) on matrix_mult_a
+// and reports the kept-rail count.
+func BenchmarkFig4PGRails(b *testing.B) {
+	d, err := GenerateBenchmark("matrix_mult_a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept = len(SelectPGRails(d))
+	}
+	b.ReportMetric(float64(kept), "rails-kept")
+	b.ReportMetric(float64(len(d.Rails)), "rails-total")
+}
+
+// BenchmarkAblationMomentum sweeps Eq. 11's α (ablation A1 of DESIGN.md) and
+// reports the DRV count at each setting.
+func BenchmarkAblationMomentum(b *testing.B) {
+	alphas := []struct {
+		name string
+		a    float64
+	}{{"a0.2", 0.2}, {"a0.4", 0.4}, {"a0.6", 0.6}, {"a0.8", 0.8}}
+	for _, alpha := range alphas {
+		b.Run(alpha.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tech := core.AllTechniques()
+				tech.MomentumAlpha = alpha.a
+				res := placeOnce(b, "fft_b", core.ModeOurs, tech)
+				b.ReportMetric(float64(res.Metrics.DRVs), "DRVs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLambda2 compares Eq. 10's adaptive λ₂ against fixed
+// values (ablation A2).
+func BenchmarkAblationLambda2(b *testing.B) {
+	cases := []struct {
+		name  string
+		fixed float64
+	}{{"adaptive", 0}, {"fixed0.5", 0.5}, {"fixed2", 2}}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tech := core.AllTechniques()
+				tech.FixedLambda2 = c.fixed
+				res := placeOnce(b, "fft_b", core.ModeOurs, tech)
+				b.ReportMetric(float64(res.Metrics.DRVs), "DRVs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInflationScheme compares the paper's momentum inflation
+// against the two prior-art schemes it criticizes in Sec. I: the monotone
+// history scheme (NTUplace4dr/Xplace-Route style) and the memoryless
+// present-congestion scheme (DREAMPlace/RePlAce style).
+func BenchmarkAblationInflationScheme(b *testing.B) {
+	for _, scheme := range []string{"momentum", "monotonic", "present"} {
+		b.Run(scheme, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tech := core.AllTechniques()
+				tech.InflationScheme = scheme
+				res := placeOnce(b, "fft_b", core.ModeOurs, tech)
+				b.ReportMetric(float64(res.Metrics.DRVs), "DRVs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVirtualCell compares Eq. 8's max-congestion virtual-cell
+// rule against the midpoint variant (ablation A3).
+func BenchmarkAblationVirtualCell(b *testing.B) {
+	cases := []struct {
+		name     string
+		midpoint bool
+	}{{"maxcong", false}, {"midpoint", true}}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tech := core.AllTechniques()
+				tech.VirtualAtMidpoint = c.midpoint
+				res := placeOnce(b, "fft_b", core.ModeOurs, tech)
+				b.ReportMetric(float64(res.Metrics.DRVs), "DRVs")
+			}
+		})
+	}
+}

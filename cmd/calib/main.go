@@ -1,0 +1,55 @@
+// Command calib reports post-placement routing utilization percentiles per
+// design; it is the tool used to calibrate the synthetic designs' routing
+// capacities so that placed utilizations land in a realistic band.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// targetP50 maps each design to the intended median placed utilization,
+// derived from the relative DRV severity the paper reports per design.
+var targetP50 = map[string]float64{
+	"des_perf_1": 0.55, "des_perf_a": 0.62, "des_perf_b": 0.42,
+	"edit_dist_a": 0.72,
+	"fft_1":       0.52, "fft_2": 0.42, "fft_a": 0.42, "fft_b": 0.62,
+	"matrix_mult_1": 0.58, "matrix_mult_2": 0.58, "matrix_mult_a": 0.52,
+	"matrix_mult_b": 0.62, "matrix_mult_c": 0.52,
+	"pci_bridge32_a": 0.52, "pci_bridge32_b": 0.35,
+	"superblue11_a": 0.42, "superblue12": 0.62, "superblue14": 0.38,
+	"superblue16_a": 0.50, "superblue19": 0.52,
+	"tiny_hot": 0.50, "tiny_open": 0.35,
+}
+
+func main() {
+	names := synth.Table1Designs()
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	for _, n := range names {
+		d := synth.MustGenerate(n)
+		opt := core.Options{Mode: core.ModeWirelength, SkipDetailed: true}
+		if _, err := core.Place(d, opt); err != nil {
+			fmt.Println(n, "ERR", err)
+			continue
+		}
+		hint := core.DefaultGridHint(len(d.Cells))
+		g := route.NewGrid(d, hint)
+		res := route.NewRouter(d, g).Route()
+		sum := stats.Summarize(res.Util)
+		p50, p90, p99 := sum.P50, sum.P90, sum.P99
+		cur := synth.Catalog()[n].CapacityScale
+		suggest := cur
+		if tgt, ok := targetP50[n]; ok && p50 > 0 {
+			suggest = cur * p50 / tgt
+		}
+		fmt.Printf("%-16s grid=%-3d p50=%.2f p90=%.2f p99=%.2f max=%.2f ovfCells=%d/%d cap=%.2f suggest=%.2f\n",
+			n, g.NX, p50, p90, p99, res.MaxUtil, res.OverflowCells, g.NX*g.NY, cur, suggest)
+	}
+}

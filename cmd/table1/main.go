@@ -1,0 +1,37 @@
+// Command table1 regenerates the paper's Table I: Xplace vs Xplace-Route vs
+// Ours on the 20 synthetic ISPD 2015 designs, reporting DRWL, #DRVias,
+// #DRVs, placement time and routing time with average ratios normalized to
+// Ours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	designs := flag.String("designs", "", "comma-separated design subset (default: all 20)")
+	grid := flag.Int("grid", 0, "grid hint (0 = auto per design)")
+	quiet := flag.Bool("q", false, "suppress progress")
+	flag.Parse()
+
+	names := synth.Table1Designs()
+	if *designs != "" {
+		names = strings.Split(*designs, ",")
+	}
+	var log *os.File
+	if !*quiet {
+		log = os.Stderr
+	}
+	rows, err := core.RunTable1(names, *grid, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	core.WriteTable(os.Stdout, rows, []string{"xplace", "xplace-route", "ours"}, "ours")
+}

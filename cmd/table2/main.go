@@ -1,0 +1,40 @@
+// Command table2 regenerates the paper's Table II ablation: the Xplace-Route
+// baseline against the framework with MCI, MCI+DC and MCI+DC+DPA enabled,
+// reporting average ratios normalized to the full configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	designs := flag.String("designs", "", "comma-separated design subset (default: all 20)")
+	grid := flag.Int("grid", 0, "grid hint (0 = auto per design)")
+	quiet := flag.Bool("q", false, "suppress progress")
+	flag.Parse()
+
+	names := synth.Table1Designs()
+	if *designs != "" {
+		names = strings.Split(*designs, ",")
+	}
+	var log *os.File
+	if !*quiet {
+		log = os.Stderr
+	}
+	rows, err := core.RunTable2(names, *grid, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var order []string
+	for _, cfg := range core.Table2Configs() {
+		order = append(order, cfg.Label)
+	}
+	core.WriteTable(os.Stdout, rows, order, "MCI+DC+DPA")
+}

@@ -1,0 +1,102 @@
+// Netmoving demonstrates the paper's Fig. 3 mechanism end to end: a two-pin
+// "victim" net whose chord crosses a routing hotspot is moved sideways by
+// the differentiable congestion term (virtual cell + projected gradient),
+// while a run without the DC technique leaves it pinned in the congestion.
+//
+// The example builds the scenario with the public Builder API, places it
+// twice (DC off / DC on), and reports the congestion crossed by the victim
+// net's chord in each result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nmplace "repro"
+)
+
+// buildScenario creates a die with a traffic hotspot in the center band and
+// one long two-pin victim net crossing it. The victim cells are returned by
+// index.
+func buildScenario() (*nmplace.Design, int, int) {
+	b := nmplace.NewBuilder("fig3", 0, 0, 256, 256, 8, 1)
+	// Hotspot: a block of heavily interconnected cells mid-die.
+	const n = 64
+	for i := 0; i < n; i++ {
+		b.AddCell("h", nmplace.StdCell, 112+float64(i%8)*4, 112+float64(i/8)*4, 3, 8)
+	}
+	for _, stride := range []int{1, 2, 3, 8, 16, 24} {
+		for i := 0; i+stride < n; i++ {
+			net := b.AddNet("hn", 1)
+			b.Connect(i, net, 0, 0)
+			b.Connect(i+stride, net, 0, 0)
+		}
+	}
+	// Victim: two cells left and right of the hotspot, same y.
+	va := b.AddCell("victimA", nmplace.StdCell, 24, 128, 3, 8)
+	vb := b.AddCell("victimB", nmplace.StdCell, 232, 128, 3, 8)
+	vn := b.AddNet("victim", 1)
+	b.Connect(va, vn, 0, 0)
+	b.Connect(vb, vn, 0, 0)
+	// Anchor the victim cells with IO pads at mid-height on the left and
+	// right die edges: wirelength pulls the victims toward y=128 (straight
+	// through the hotspot, which the placer clusters at the die center);
+	// only the congestion force can move the net off that band.
+	pa := b.AddCell("padA", nmplace.IOPad, 0, 128, 1, 1)
+	pb := b.AddCell("padB", nmplace.IOPad, 256, 128, 1, 1)
+	na := b.AddNet("anchorA", 4)
+	b.Connect(va, na, 0, 0)
+	b.Connect(pa, na, 0, 0)
+	nb := b.AddNet("anchorB", 4)
+	b.Connect(vb, nb, 0, 0)
+	b.Connect(pb, nb, 0, 0)
+	b.SetRouteCapScale(0.30)
+	d := b.MustBuild()
+	return d, va, vb
+}
+
+// chordCongestion samples the congestion map along the victim chord.
+func chordCongestion(d *nmplace.Design, va, vb int) float64 {
+	cong, nx, ny := nmplace.CongestionMap(d, 32)
+	a, c := &d.Cells[va], &d.Cells[vb]
+	var sum float64
+	const samples = 64
+	for i := 0; i <= samples; i++ {
+		t := float64(i) / samples
+		x := a.X + t*(c.X-a.X)
+		y := a.Y + t*(c.Y-a.Y)
+		bx := int(x / d.Die.W() * float64(nx))
+		by := int(y / d.Die.H() * float64(ny))
+		if bx >= nx {
+			bx = nx - 1
+		}
+		if by >= ny {
+			by = ny - 1
+		}
+		sum += cong[by*nx+bx]
+	}
+	return sum / (samples + 1)
+}
+
+func run(dc bool) {
+	d, va, vb := buildScenario()
+	tech := nmplace.Techniques{MCI: true, DPA: false, DC: dc}
+	_, err := nmplace.Place(d, nmplace.Options{Mode: nmplace.ModeOurs, Tech: tech})
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := "DC off"
+	if dc {
+		label = "DC on "
+	}
+	fmt.Printf("%s: victim cells at y=(%.0f, %.0f), mean congestion along chord %.4f\n",
+		label, d.Cells[va].Y, d.Cells[vb].Y, chordCongestion(d, va, vb))
+}
+
+func main() {
+	fmt.Println("Fig. 3 walk-through: two-pin net moving out of a congestion hotspot")
+	run(false)
+	run(true)
+	fmt.Println("(with DC on, the virtual-cell gradient pushes the whole victim net")
+	fmt.Println(" perpendicular to its chord, off the hotspot band)")
+}

@@ -1,0 +1,78 @@
+// Pgrails reproduces the paper's Fig. 4 on the synthetic matrix_mult_a: PG
+// rails are cut by the 10%-expanded macro bounding boxes and only pieces at
+// least 0.2× the die width survive for density adjustment. The example
+// prints the before/after rail statistics and an ASCII map of macros and
+// selected rails.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	nmplace "repro"
+)
+
+func main() {
+	d, err := nmplace.GenerateBenchmark("matrix_mult_a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	selected := nmplace.SelectPGRails(d)
+
+	var totalLen, selLen float64
+	for _, r := range d.Rails {
+		totalLen += r.Seg.Len()
+	}
+	for _, r := range selected {
+		selLen += r.Seg.Len()
+	}
+	st := d.ComputeStats()
+	fmt.Printf("design %s: %d macros, %d PG rails (total length %.0f)\n",
+		d.Name, st.NumMacros, len(d.Rails), totalLen)
+	fmt.Printf("after selection: %d rail pieces kept, length %.0f (%.0f%%)\n",
+		len(selected), selLen, 100*selLen/totalLen)
+
+	// ASCII rendering: '#' macro, '=' selected rail, '.' empty.
+	const W, H = 72, 36
+	gridAt := func(x, y float64) (int, int) {
+		cx := int(x / d.Die.W() * W)
+		cy := int(y / d.Die.H() * H)
+		if cx >= W {
+			cx = W - 1
+		}
+		if cy >= H {
+			cy = H - 1
+		}
+		return cx, cy
+	}
+	canvas := make([][]byte, H)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(".", W))
+	}
+	for _, m := range d.MacroRects() {
+		x0, y0 := gridAt(m.Lo.X, m.Lo.Y)
+		x1, y1 := gridAt(m.Hi.X, m.Hi.Y)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				canvas[y][x] = '#'
+			}
+		}
+	}
+	for _, r := range selected {
+		x0, y0 := gridAt(r.Seg.A.X, r.Seg.A.Y)
+		x1, _ := gridAt(r.Seg.B.X, r.Seg.B.Y)
+		if x1 < x0 {
+			x0, x1 = x1, x0
+		}
+		for x := x0; x <= x1; x++ {
+			if canvas[y0][x] == '.' {
+				canvas[y0][x] = '='
+			}
+		}
+	}
+	fmt.Println("\nselected rails (=) and macros (#), die top at bottom:")
+	for y := H - 1; y >= 0; y-- {
+		fmt.Println(string(canvas[y]))
+	}
+}

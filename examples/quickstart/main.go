@@ -1,0 +1,37 @@
+// Quickstart: generate a benchmark, place it with the paper's framework and
+// with the two baselines, and compare the post-route scorecards.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nmplace "repro"
+)
+
+func main() {
+	for _, mode := range []struct {
+		name string
+		mode nmplace.Mode
+	}{
+		{"Xplace (wirelength only)", nmplace.ModeXplace},
+		{"Xplace-Route (baseline) ", nmplace.ModeXplaceRoute},
+		{"Ours (paper framework)  ", nmplace.ModeOurs},
+	} {
+		// Each run gets a fresh copy of the design: Place moves cells.
+		d, err := nmplace.GenerateBenchmark("fft_1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nmplace.Place(d, nmplace.Options{
+			Mode: mode.mode,
+			Tech: nmplace.AllTechniques(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%s  DRWL=%9.0f  #DRVias=%6d  #DRVs=%6d  HPWL=%9.0f  PT=%5.2fs\n",
+			mode.name, m.DRWL, m.DRVias, m.DRVs, res.HPWLFinal, res.PlaceTime.Seconds())
+	}
+}

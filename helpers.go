@@ -1,0 +1,7 @@
+package nmplace
+
+import "repro/internal/geom"
+
+func rect(x0, y0, x1, y1 float64) geom.Rect {
+	return geom.NewRect(x0, y0, x1, y1)
+}

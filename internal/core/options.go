@@ -1,0 +1,177 @@
+// Package core assembles the full routability-driven global placement flow
+// of the paper (Fig. 2): initial wirelength-driven electrostatic placement,
+// the routability loop (global routing → momentum cell inflation → dynamic
+// PG density → congestion gradients → Nesterov steps), and the finishing
+// legalization + detailed placement. Three placer modes reproduce the Table I
+// columns, and per-technique switches reproduce the Table II ablation.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/eval"
+)
+
+// Mode selects which placer of Table I runs.
+type Mode int
+
+const (
+	// ModeWirelength is the pure wirelength-driven placer (the paper's
+	// Xplace column): no routability optimization at all.
+	ModeWirelength Mode = iota
+	// ModeBaselineRoute approximates Xplace-Route: monotone cell inflation
+	// from the congestion map plus a one-shot static PG-rail density
+	// pre-adjustment — no net moving, no momentum, no dynamic adaptation.
+	ModeBaselineRoute
+	// ModeOurs is the paper's framework with all three techniques
+	// (configurable individually through Techniques for the ablation).
+	ModeOurs
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWirelength:
+		return "xplace"
+	case ModeBaselineRoute:
+		return "xplace-route"
+	case ModeOurs:
+		return "ours"
+	default:
+		return "unknown"
+	}
+}
+
+// Techniques toggles the paper's three contributions inside ModeOurs,
+// mirroring Table II's MCI / DC / DPA columns, plus the extra ablation knobs
+// indexed in DESIGN.md.
+type Techniques struct {
+	// MCI enables momentum-based cell inflation (Sec. III-B); when false,
+	// the monotone baseline inflator is used instead.
+	MCI bool
+	// DC enables the differentiable congestion term with net moving
+	// (Sec. III-A).
+	DC bool
+	// DPA enables dynamic pin-accessibility density adjustment (Sec. III-C).
+	DPA bool
+
+	// MomentumAlpha overrides Eq. 11's α when positive (ablation A1).
+	MomentumAlpha float64
+	// InflationScheme overrides the inflation policy regardless of MCI:
+	// "momentum", "monotonic" or "present" (the memoryless prior-art scheme
+	// of DREAMPlace/RePlAce the paper's Sec. I criticizes). Empty selects by
+	// the MCI flag.
+	InflationScheme string
+	// CongestionThreshold overrides Algorithm 2's multi-pin congestion
+	// threshold (paper default 0.7) when positive.
+	CongestionThreshold float64
+	// FixedLambda2 disables Eq. 10 and uses this constant λ₂ when positive
+	// (ablation A2).
+	FixedLambda2 float64
+	// VirtualAtMidpoint places virtual cells at segment midpoints instead
+	// of the Eq. 8 max-congestion point (ablation A3).
+	VirtualAtMidpoint bool
+}
+
+// AllTechniques returns the full paper configuration.
+func AllTechniques() Techniques { return Techniques{MCI: true, DC: true, DPA: true} }
+
+// Options configures a placement run.
+type Options struct {
+	Mode Mode
+	Tech Techniques
+
+	// GridHint sets the bin/G-cell resolution (power-of-two rounded); 0
+	// chooses automatically from the design size.
+	GridHint int
+	// MaxWLIters bounds the wirelength-driven phase (default 400).
+	MaxWLIters int
+	// WLOverflowStop ends the wirelength phase at this density overflow
+	// (default 0.12).
+	WLOverflowStop float64
+	// MaxRouteIters bounds the routability loop (default 24).
+	MaxRouteIters int
+	// StepsPerRouteIter is the number of Nesterov steps between router
+	// invocations (default 12).
+	StepsPerRouteIter int
+	// CongestionPatience stops the routability loop after this many
+	// non-improving router calls (Fig. 2's "C(x,y) no longer decreases";
+	// default 4).
+	CongestionPatience int
+
+	// SkipLegalize and SkipDetailed shorten test runs.
+	SkipLegalize bool
+	SkipDetailed bool
+
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultGridHint picks the bin/G-cell resolution for a design size; the
+// density bins and routing G-cells share it (paper Sec. II-B).
+func DefaultGridHint(numCells int) int {
+	switch {
+	case numCells <= 800:
+		return 32
+	case numCells <= 8000:
+		return 64
+	default:
+		return 128
+	}
+}
+
+func (o *Options) setDefaults(numCells int) {
+	if o.GridHint == 0 {
+		o.GridHint = DefaultGridHint(numCells)
+	}
+	if o.MaxWLIters == 0 {
+		o.MaxWLIters = 400
+	}
+	if o.WLOverflowStop == 0 {
+		o.WLOverflowStop = 0.12
+	}
+	if o.MaxRouteIters == 0 {
+		o.MaxRouteIters = 24
+	}
+	if o.StepsPerRouteIter == 0 {
+		o.StepsPerRouteIter = 12
+	}
+	if o.CongestionPatience == 0 {
+		o.CongestionPatience = 4
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Result reports a finished placement run.
+type Result struct {
+	Mode Mode
+
+	// PlaceTime is the total placement runtime (the paper's PT).
+	PlaceTime time.Duration
+	// RouteTime is the final evaluation routing runtime (the paper's RT
+	// proxy — see DESIGN.md on the Innovus substitution).
+	RouteTime time.Duration
+
+	// Metrics is the post-route scorecard (DRWL, #DRVias, #DRVs).
+	Metrics eval.Metrics
+
+	// HPWL after each stage, for diagnostics.
+	HPWLGlobal    float64
+	HPWLLegalized float64
+	HPWLFinal     float64
+
+	WLIters    int
+	RouteIters int
+	// FinalOverflow is the density overflow at the end of global placement.
+	FinalOverflow float64
+	// CongestionHistory is the weighted congestion after each router call.
+	CongestionHistory []float64
+	// LegalizeDisp is the total legalization displacement.
+	LegalizeDisp float64
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/synth"
+)
+
+// Row is one design × placer measurement of the Table I schema.
+type Row struct {
+	Design string
+	Mode   string
+	DRWL   float64
+	DRVias int
+	DRVs   int
+	PT     float64 // placement seconds
+	RT     float64 // routing seconds
+}
+
+// RunTable1 places every design in designs with each of the three placers
+// and returns the measurement rows grouped per design (len(designs)×3 rows,
+// ordered Xplace, Xplace-Route, Ours within each design). Log, when non-nil,
+// receives one progress line per run.
+func RunTable1(designs []string, gridHint int, log io.Writer) ([]Row, error) {
+	modes := []struct {
+		mode Mode
+		name string
+	}{
+		{ModeWirelength, "xplace"},
+		{ModeBaselineRoute, "xplace-route"},
+		{ModeOurs, "ours"},
+	}
+	var rows []Row
+	for _, name := range designs {
+		for _, m := range modes {
+			d, err := synth.Generate(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Place(d, Options{Mode: m.mode, Tech: AllTechniques(), GridHint: gridHint})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, m.name, err)
+			}
+			rows = append(rows, rowFrom(name, m.name, res))
+			if log != nil {
+				fmt.Fprintf(log, "%s %s: DRWL=%.0f vias=%d DRVs=%d PT=%.2fs\n",
+					name, m.name, res.Metrics.DRWL, res.Metrics.DRVias, res.Metrics.DRVs,
+					res.PlaceTime.Seconds())
+			}
+		}
+	}
+	return rows, nil
+}
+
+// AblationConfig is one Table II row: which techniques are active.
+type AblationConfig struct {
+	Label         string
+	MCI, DC, DPA  bool
+	BaselineRoute bool // row 1 is Xplace-Route itself
+}
+
+// Table2Configs returns the paper's four ablation rows.
+func Table2Configs() []AblationConfig {
+	return []AblationConfig{
+		{Label: "baseline (Xplace-Route)", BaselineRoute: true},
+		{Label: "MCI", MCI: true},
+		{Label: "MCI+DC", MCI: true, DC: true},
+		{Label: "MCI+DC+DPA", MCI: true, DC: true, DPA: true},
+	}
+}
+
+// RunTable2 runs the ablation configurations over the given designs and
+// returns rows grouped per design in config order.
+func RunTable2(designs []string, gridHint int, log io.Writer) ([]Row, error) {
+	var rows []Row
+	for _, name := range designs {
+		for _, cfg := range Table2Configs() {
+			d, err := synth.Generate(name)
+			if err != nil {
+				return nil, err
+			}
+			opt := Options{GridHint: gridHint}
+			if cfg.BaselineRoute {
+				opt.Mode = ModeBaselineRoute
+			} else {
+				opt.Mode = ModeOurs
+				opt.Tech = Techniques{MCI: cfg.MCI, DC: cfg.DC, DPA: cfg.DPA}
+			}
+			res, err := Place(d, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, cfg.Label, err)
+			}
+			rows = append(rows, rowFrom(name, cfg.Label, res))
+			if log != nil {
+				fmt.Fprintf(log, "%s %-24s DRWL=%.0f vias=%d DRVs=%d\n",
+					name, cfg.Label, res.Metrics.DRWL, res.Metrics.DRVias, res.Metrics.DRVs)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func rowFrom(design, mode string, res *Result) Row {
+	return Row{
+		Design: design,
+		Mode:   mode,
+		DRWL:   res.Metrics.DRWL,
+		DRVias: res.Metrics.DRVias,
+		DRVs:   res.Metrics.DRVs,
+		PT:     res.PlaceTime.Seconds(),
+		RT:     res.RouteTime.Seconds(),
+	}
+}
+
+// AvgRatios computes, for each mode label, the geometric-mean-free average
+// ratios the paper reports: each design's metric divided by the reference
+// mode's value on the same design, averaged over designs. Reference is the
+// label whose ratios are all 1.0 (the paper normalizes to "Ours").
+func AvgRatios(rows []Row, reference string) map[string]Ratios {
+	byDesign := map[string]map[string]Row{}
+	for _, r := range rows {
+		if byDesign[r.Design] == nil {
+			byDesign[r.Design] = map[string]Row{}
+		}
+		byDesign[r.Design][r.Mode] = r
+	}
+	sums := map[string]*Ratios{}
+	counts := map[string]int{}
+	for _, modes := range byDesign {
+		ref, ok := modes[reference]
+		if !ok {
+			continue
+		}
+		for label, r := range modes {
+			if sums[label] == nil {
+				sums[label] = &Ratios{}
+			}
+			s := sums[label]
+			s.DRWL += safeDiv(r.DRWL, ref.DRWL)
+			s.DRVias += safeDiv(float64(r.DRVias), float64(ref.DRVias))
+			s.DRVs += safeDiv(float64(r.DRVs), float64(ref.DRVs))
+			s.PT += safeDiv(r.PT, ref.PT)
+			s.RT += safeDiv(r.RT, ref.RT)
+			counts[label]++
+		}
+	}
+	out := map[string]Ratios{}
+	for label, s := range sums {
+		n := float64(counts[label])
+		out[label] = Ratios{DRWL: s.DRWL / n, DRVias: s.DRVias / n, DRVs: s.DRVs / n,
+			PT: s.PT / n, RT: s.RT / n}
+	}
+	return out
+}
+
+// Ratios is a set of per-metric average ratios versus the reference mode.
+type Ratios struct {
+	DRWL, DRVias, DRVs, PT, RT float64
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 2 // capped penalty ratio for zero-reference cases
+	}
+	return a / b
+}
+
+// WriteTable renders rows plus the average-ratio footer in the paper's
+// Table I layout.
+func WriteTable(w io.Writer, rows []Row, modeOrder []string, reference string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Design\tMode\tDRWL/um\t#DRVias\t#DRVs\tPT/s\tRT/s")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%d\t%d\t%.2f\t%.3f\n",
+			r.Design, r.Mode, r.DRWL, r.DRVias, r.DRVs, r.PT, r.RT)
+	}
+	ratios := AvgRatios(rows, reference)
+	for _, mode := range modeOrder {
+		rt, ok := ratios[mode]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(tw, "Avg.Ratio\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			mode, rt.DRWL, rt.DRVias, rt.DRVs, rt.PT, rt.RT)
+	}
+	tw.Flush()
+}

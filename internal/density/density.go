@@ -1,0 +1,451 @@
+// Package density implements the electrostatics-based density penalty D(x,y)
+// of ePlace (paper Sec. II-A): movable cells, filler cells and fixed macros
+// are rasterized as charge onto a power-of-two bin grid, the Poisson solver
+// turns the charge into a potential ψ and field E = −∇ψ, and the penalty
+// ½·Σ A_i·ψ_i with gradient −A_i·E(x_i) drives cells out of dense regions.
+//
+// Two paper-specific hooks extend the plain ePlace model:
+//
+//   - per-cell inflation ratios (Sec. III-B): the momentum-based cell
+//     inflation multiplies each movable cell's charge area during
+//     rasterization only, so congested cells push harder;
+//   - an additive PG-rail density D^PG (Sec. III-C, Eq. 13–15) supplied per
+//     bin by the pgrail package, re-evaluated every routability iteration.
+package density
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/poisson"
+	"repro/internal/spectral"
+)
+
+// Model holds the bin grid, the Poisson solver, filler cells and scratch
+// buffers for density evaluation of one design.
+type Model struct {
+	d      *netlist.Design
+	NX, NY int
+	binW   float64
+	binH   float64
+
+	solver *poisson.Solver
+	grid   *poisson.Grid
+
+	rho      []float64 // charge density, rebuilt each Compute
+	fixedRho []float64 // precomputed macro/blockage charge
+	pgRho    []float64 // PG-rail additive density (Eq. 14), set externally
+	movArea  []float64 // per-bin movable+filler area (for overflow)
+	freeBin  []float64 // per-bin free area = binArea − fixed overlap
+
+	inflation []float64 // per-cell inflation ratio r_i (movables only used)
+
+	// Fillers occupy free space so real cells stay compact (ePlace).
+	FillerW, FillerH float64
+	FillerPos        []float64 // [x0,y0,x1,y1,...] centers
+	fillerArea       float64   // area of one filler
+
+	// activeFillers counts the fillers currently rasterized. When cells
+	// inflate, the extra charge is paid for by deactivating fillers so the
+	// total charge stays at the density target and the problem remains
+	// feasible (the standard RePlAce/DREAMPlace mechanism).
+	activeFillers int
+
+	baseMovableArea  float64 // uninflated movable area
+	totalMovableArea float64
+}
+
+// New creates a density model with a grid of roughly gridHint bins on the
+// longer die axis (rounded up to powers of two, minimum 16).
+func New(d *netlist.Design, gridHint int) *Model {
+	if gridHint < 16 {
+		gridHint = 16
+	}
+	nx := spectral.NextPow2(gridHint)
+	ny := nx
+	m := &Model{
+		d:    d,
+		NX:   nx,
+		NY:   ny,
+		binW: d.Die.W() / float64(nx),
+		binH: d.Die.H() / float64(ny),
+	}
+	m.solver = poisson.NewSolver(nx, ny)
+	m.grid = m.solver.NewGrid()
+	n := nx * ny
+	m.rho = make([]float64, n)
+	m.fixedRho = make([]float64, n)
+	m.pgRho = make([]float64, n)
+	m.movArea = make([]float64, n)
+	m.freeBin = make([]float64, n)
+	m.inflation = make([]float64, len(d.Cells))
+	for i := range m.inflation {
+		m.inflation[i] = 1
+	}
+	m.precomputeFixed()
+	m.buildFillers()
+	return m
+}
+
+// BinW returns the bin width.
+func (m *Model) BinW() float64 { return m.binW }
+
+// BinH returns the bin height.
+func (m *Model) BinH() float64 { return m.binH }
+
+// precomputeFixed rasterizes macros as full-density fixed charge and derives
+// the per-bin free area.
+func (m *Model) precomputeFixed() {
+	binArea := m.binW * m.binH
+	for i := range m.freeBin {
+		m.freeBin[i] = binArea
+	}
+	for ci := range m.d.Cells {
+		c := &m.d.Cells[ci]
+		if c.Kind != netlist.Macro {
+			continue
+		}
+		m.splat(m.fixedRho, c.Rect(), 1, false)
+	}
+	for i := range m.fixedRho {
+		if m.fixedRho[i] > binArea {
+			m.fixedRho[i] = binArea
+		}
+		m.freeBin[i] = binArea - m.fixedRho[i]
+	}
+}
+
+// buildFillers creates filler cells totalling targetDensity·freeArea minus
+// the movable area, uniformly sprinkled over free bins (deterministically).
+func (m *Model) buildFillers() {
+	var freeArea float64
+	for _, f := range m.freeBin {
+		freeArea += f
+	}
+	var movArea, movW float64
+	var movN int
+	for i := range m.d.Cells {
+		c := &m.d.Cells[i]
+		if c.Movable() {
+			movArea += c.Area()
+			movW += c.W
+			movN++
+		}
+	}
+	m.totalMovableArea = movArea
+	m.baseMovableArea = movArea
+	target := m.d.TargetDensity
+	if target <= 0 {
+		target = 0.9
+	}
+	fillerTotal := target*freeArea - movArea
+	if fillerTotal <= 0 || movN == 0 {
+		return
+	}
+	m.FillerW = movW / float64(movN)
+	m.FillerH = m.d.RowHeight
+	m.fillerArea = m.FillerW * m.FillerH
+	n := int(fillerTotal / m.fillerArea)
+	if n <= 0 {
+		return
+	}
+	// Halton-like deterministic low-discrepancy sprinkle over free space.
+	m.FillerPos = make([]float64, 0, 2*n)
+	placed := 0
+	for k := 1; placed < n && k < 50*n+100; k++ {
+		x := m.d.Die.Lo.X + halton(k, 2)*m.d.Die.W()
+		y := m.d.Die.Lo.Y + halton(k, 3)*m.d.Die.H()
+		bx, by := m.binAt(x, y)
+		if m.freeBin[by*m.NX+bx] < 0.5*m.binW*m.binH {
+			continue // mostly blocked bin
+		}
+		m.FillerPos = append(m.FillerPos, x, y)
+		placed++
+	}
+	// Fillers count as movable charge in the overflow normalization too.
+	m.activeFillers = m.NumFillers()
+	m.totalMovableArea += m.fillerArea * float64(m.NumFillers())
+}
+
+func halton(i, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// NumFillers returns the filler cell count.
+func (m *Model) NumFillers() int { return len(m.FillerPos) / 2 }
+
+// SetInflation sets the inflation ratio of one cell (movables only matter).
+func (m *Model) SetInflation(cell int, r float64) { m.inflation[cell] = r }
+
+// SetInflations replaces all inflation ratios; len must equal len(Cells).
+// The filler population is shrunk by the total inflation delta so the total
+// movable charge stays at the density target.
+func (m *Model) SetInflations(r []float64) {
+	if len(r) != len(m.inflation) {
+		panic("density: inflation length mismatch")
+	}
+	copy(m.inflation, r)
+	m.rebalanceFillers()
+}
+
+// rebalanceFillers deactivates enough fillers to pay for the current
+// inflation surplus Σ(r_i−1)·A_i (clamped to the available filler pool).
+func (m *Model) rebalanceFillers() {
+	if m.fillerArea <= 0 || m.NumFillers() == 0 {
+		return
+	}
+	var extra float64
+	for ci := range m.d.Cells {
+		c := &m.d.Cells[ci]
+		if !c.Movable() {
+			continue
+		}
+		if ri := m.inflation[ci]; ri > 1 {
+			extra += (ri - 1) * c.Area()
+		}
+	}
+	drop := int(extra / m.fillerArea)
+	m.activeFillers = m.NumFillers() - drop
+	if m.activeFillers < 0 {
+		m.activeFillers = 0
+	}
+}
+
+// ActiveFillers returns the number of fillers currently rasterized.
+func (m *Model) ActiveFillers() int { return m.activeFillers }
+
+// Inflation returns the current inflation ratio of a cell.
+func (m *Model) Inflation(cell int) float64 { return m.inflation[cell] }
+
+// SetPGDensity replaces the PG-rail additive bin density (Eq. 14). The slice
+// must have NX·NY entries expressed as area per bin (same unit as cell
+// overlap areas); pass nil to clear.
+func (m *Model) SetPGDensity(pg []float64) {
+	if pg == nil {
+		for i := range m.pgRho {
+			m.pgRho[i] = 0
+		}
+		return
+	}
+	if len(pg) != len(m.pgRho) {
+		panic("density: PG density length mismatch")
+	}
+	copy(m.pgRho, pg)
+}
+
+func (m *Model) binAt(x, y float64) (int, int) {
+	bx := int((x - m.d.Die.Lo.X) / m.binW)
+	by := int((y - m.d.Die.Lo.Y) / m.binH)
+	return geom.ClampInt(bx, 0, m.NX-1), geom.ClampInt(by, 0, m.NY-1)
+}
+
+// splat adds the (possibly smoothed) overlap area of r into the target bin
+// array, optionally with area-preserving minimum-size smoothing: cells
+// smaller than a bin are expanded to bin size with proportionally reduced
+// density so the field stays smooth (ePlace's local smoothing).
+func (m *Model) splat(dst []float64, r geom.Rect, scale float64, smooth bool) {
+	w, h := r.W(), r.H()
+	cx, cy := r.Center().X, r.Center().Y
+	if smooth {
+		if w < m.binW {
+			scale *= w / m.binW
+			w = m.binW
+		}
+		if h < m.binH {
+			scale *= h / m.binH
+			h = m.binH
+		}
+		r = geom.NewRect(cx-w/2, cy-h/2, cx+w/2, cy+h/2)
+	}
+	lo := r.Lo
+	hi := r.Hi
+	bx0 := geom.ClampInt(int((lo.X-m.d.Die.Lo.X)/m.binW), 0, m.NX-1)
+	bx1 := geom.ClampInt(int((hi.X-m.d.Die.Lo.X)/m.binW), 0, m.NX-1)
+	by0 := geom.ClampInt(int((lo.Y-m.d.Die.Lo.Y)/m.binH), 0, m.NY-1)
+	by1 := geom.ClampInt(int((hi.Y-m.d.Die.Lo.Y)/m.binH), 0, m.NY-1)
+	for by := by0; by <= by1; by++ {
+		y0 := m.d.Die.Lo.Y + float64(by)*m.binH
+		oy := geom.OverlapLen(lo.Y, hi.Y, y0, y0+m.binH)
+		if oy <= 0 {
+			continue
+		}
+		for bx := bx0; bx <= bx1; bx++ {
+			x0 := m.d.Die.Lo.X + float64(bx)*m.binW
+			ox := geom.OverlapLen(lo.X, hi.X, x0, x0+m.binW)
+			if ox <= 0 {
+				continue
+			}
+			dst[by*m.NX+bx] += ox * oy * scale
+		}
+	}
+}
+
+// Compute rasterizes the current cell and filler positions and solves the
+// Poisson equation. It must be called before Penalty, Overflow or the
+// gradient accessors.
+func (m *Model) Compute() {
+	copy(m.rho, m.fixedRho)
+	for i := range m.movArea {
+		m.movArea[i] = 0
+	}
+	for ci := range m.d.Cells {
+		c := &m.d.Cells[ci]
+		if !c.Movable() {
+			continue
+		}
+		r := m.inflation[ci]
+		if r <= 0 {
+			r = 1
+		}
+		// Inflation scales the charge area (paper: "the cell size is
+		// proportionally inflated during density calculation").
+		w := c.W * math.Sqrt(r)
+		h := c.H * math.Sqrt(r)
+		rect := geom.NewRect(c.X-w/2, c.Y-h/2, c.X+w/2, c.Y+h/2)
+		m.splat(m.rho, rect, 1, true)
+		m.splat(m.movArea, rect, 1, true)
+	}
+	for k := 0; k < m.activeFillers; k++ {
+		x, y := m.FillerPos[2*k], m.FillerPos[2*k+1]
+		rect := geom.NewRect(x-m.FillerW/2, y-m.FillerH/2, x+m.FillerW/2, y+m.FillerH/2)
+		m.splat(m.rho, rect, 1, true)
+		m.splat(m.movArea, rect, 1, true)
+	}
+	for i := range m.rho {
+		m.rho[i] += m.pgRho[i]
+	}
+	// Normalize to density (area per bin / bin area) so the field scale is
+	// grid-independent.
+	binArea := m.binW * m.binH
+	for i := range m.rho {
+		m.rho[i] /= binArea
+	}
+	m.solver.Solve(m.rho, m.grid)
+}
+
+// sample bilinearly interpolates a grid field at (x, y), with bin-center
+// alignment and edge clamping.
+func (m *Model) sample(f []float64, x, y float64) float64 {
+	fx := (x-m.d.Die.Lo.X)/m.binW - 0.5
+	fy := (y-m.d.Die.Lo.Y)/m.binH - 0.5
+	x0 := int(math.Floor(fx))
+	y0 := int(math.Floor(fy))
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	x0 = geom.ClampInt(x0, 0, m.NX-1)
+	y0 = geom.ClampInt(y0, 0, m.NY-1)
+	x1 := geom.ClampInt(x0+1, 0, m.NX-1)
+	y1 := geom.ClampInt(y0+1, 0, m.NY-1)
+	tx = geom.Clamp(tx, 0, 1)
+	ty = geom.Clamp(ty, 0, 1)
+	f00 := f[y0*m.NX+x0]
+	f10 := f[y0*m.NX+x1]
+	f01 := f[y1*m.NX+x0]
+	f11 := f[y1*m.NX+x1]
+	return f00*(1-tx)*(1-ty) + f10*tx*(1-ty) + f01*(1-tx)*ty + f11*tx*ty
+}
+
+// Potential returns ψ interpolated at (x, y). Compute must have been called.
+func (m *Model) Potential(x, y float64) float64 { return m.sample(m.grid.Psi, x, y) }
+
+// Field returns E = −∇ψ interpolated at (x, y).
+func (m *Model) Field(x, y float64) (float64, float64) {
+	return m.sample(m.grid.Ex, x, y), m.sample(m.grid.Ey, x, y)
+}
+
+// Penalty returns D = ½·Σ_i A_i·ψ(x_i) over movable cells and fillers, with
+// A_i the inflated charge area.
+func (m *Model) Penalty() float64 {
+	var sum float64
+	for ci := range m.d.Cells {
+		c := &m.d.Cells[ci]
+		if !c.Movable() {
+			continue
+		}
+		a := c.Area() * m.inflation[ci]
+		sum += a * m.Potential(c.X, c.Y)
+	}
+	for k := 0; k < m.activeFillers; k++ {
+		sum += m.fillerArea * m.Potential(m.FillerPos[2*k], m.FillerPos[2*k+1])
+	}
+	return sum / 2
+}
+
+// AccumCellGrad adds scale·∂D/∂(x_i,y_i) = −scale·A_i·E(x_i) for every
+// movable cell into grad (layout [gx0,gy0,...], length 2·len(Cells)).
+func (m *Model) AccumCellGrad(grad []float64, scale float64) {
+	if len(grad) != 2*len(m.d.Cells) {
+		panic("density: cell gradient length mismatch")
+	}
+	for ci := range m.d.Cells {
+		c := &m.d.Cells[ci]
+		if !c.Movable() {
+			continue
+		}
+		a := c.Area() * m.inflation[ci]
+		ex, ey := m.Field(c.X, c.Y)
+		grad[2*ci] -= scale * a * ex
+		grad[2*ci+1] -= scale * a * ey
+	}
+}
+
+// AccumFillerGrad adds scale·∂D/∂(filler position) into fgrad (length
+// 2·NumFillers).
+func (m *Model) AccumFillerGrad(fgrad []float64, scale float64) {
+	if len(fgrad) != len(m.FillerPos) {
+		panic("density: filler gradient length mismatch")
+	}
+	for k := 0; k < m.activeFillers; k++ {
+		ex, ey := m.Field(m.FillerPos[2*k], m.FillerPos[2*k+1])
+		fgrad[2*k] -= scale * m.fillerArea * ex
+		fgrad[2*k+1] -= scale * m.fillerArea * ey
+	}
+}
+
+// Overflow returns the density overflow ratio
+// Σ_b max(0, movArea_b − target·freeArea_b) / totalMovableArea, the ePlace
+// convergence metric that also drives the γ and λ schedules.
+func (m *Model) Overflow() float64 {
+	if m.totalMovableArea == 0 {
+		return 0
+	}
+	target := m.d.TargetDensity
+	if target <= 0 {
+		target = 0.9
+	}
+	var ovf float64
+	for i := range m.movArea {
+		if ex := m.movArea[i] - target*m.freeBin[i]; ex > 0 {
+			ovf += ex
+		}
+	}
+	denom := m.baseMovableArea + m.fillerArea*float64(m.activeFillers)
+	if denom <= 0 {
+		denom = m.totalMovableArea
+	}
+	return ovf / denom
+}
+
+// CellDensityMap returns a copy of the per-bin movable+filler area map from
+// the last Compute (used by the Fig. 1 congestion decomposition).
+func (m *Model) CellDensityMap() []float64 {
+	out := make([]float64, len(m.movArea))
+	copy(out, m.movArea)
+	return out
+}
+
+// ClampFillers keeps all fillers inside the die.
+func (m *Model) ClampFillers() {
+	for k := 0; k < m.NumFillers(); k++ {
+		m.FillerPos[2*k] = geom.Clamp(m.FillerPos[2*k], m.d.Die.Lo.X+m.FillerW/2, m.d.Die.Hi.X-m.FillerW/2)
+		m.FillerPos[2*k+1] = geom.Clamp(m.FillerPos[2*k+1], m.d.Die.Lo.Y+m.FillerH/2, m.d.Die.Hi.Y-m.FillerH/2)
+	}
+}

@@ -1,0 +1,251 @@
+// Package designio reads and writes placement designs in a plain-text format
+// in the spirit of the Bookshelf files the ISPD contests distribute (the real
+// contest data is LEF/DEF; this single-file format carries exactly the
+// information the placer consumes: die, rows, cells, hypergraph, PG rails
+// and routing parameters).
+//
+// The format is line-oriented; '#' starts a comment. All cross-references
+// are by index in declaration order:
+//
+//	design <name>
+//	die <x0> <y0> <x1> <y1>
+//	row <height> <sitewidth>
+//	route <layers> <capscale>
+//	density <target>
+//	cell <name> <stdcell|macro|iopad> <cx> <cy> <w> <h>
+//	net <name> <weight>
+//	pin <cell-index> <net-index> <offx> <offy>
+//	rail <x0> <y0> <x1> <y1> <width>
+package designio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Write serializes d to w. The output is deterministic and Read-compatible.
+func Write(w io.Writer, d *netlist.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# nmplace design file\n")
+	fmt.Fprintf(bw, "design %s\n", escape(d.Name))
+	fmt.Fprintf(bw, "die %g %g %g %g\n", d.Die.Lo.X, d.Die.Lo.Y, d.Die.Hi.X, d.Die.Hi.Y)
+	fmt.Fprintf(bw, "row %g %g\n", d.RowHeight, d.SiteWidth)
+	fmt.Fprintf(bw, "route %d %g\n", d.RouteLayers, d.RouteCapScale)
+	fmt.Fprintf(bw, "density %g\n", d.TargetDensity)
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		fmt.Fprintf(bw, "cell %s %s %g %g %g %g\n",
+			escape(c.Name), kindName(c.Kind), c.X, c.Y, c.W, c.H)
+	}
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		fmt.Fprintf(bw, "net %s %g\n", escape(n.Name), n.Weight)
+	}
+	for i := range d.Pins {
+		p := &d.Pins[i]
+		fmt.Fprintf(bw, "pin %d %d %g %g\n", p.Cell, p.Net, p.OffX, p.OffY)
+	}
+	for _, r := range d.Rails {
+		fmt.Fprintf(bw, "rail %g %g %g %g %g\n",
+			r.Seg.A.X, r.Seg.A.Y, r.Seg.B.X, r.Seg.B.Y, r.Width)
+	}
+	return bw.Flush()
+}
+
+// Read parses a design previously produced by Write (or hand-authored in the
+// same format) and validates it.
+func Read(r io.Reader) (*netlist.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	d := &netlist.Design{RouteLayers: 4, RouteCapScale: 1, TargetDensity: 0.9}
+	lineNo := 0
+	sawDie := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		var err error
+		switch f[0] {
+		case "design":
+			if len(f) != 2 {
+				err = fmt.Errorf("design wants 1 field")
+			} else {
+				d.Name = unescape(f[1])
+			}
+		case "die":
+			var v [4]float64
+			if v, err = floats4(f[1:]); err == nil {
+				d.Die = geom.NewRect(v[0], v[1], v[2], v[3])
+				sawDie = true
+			}
+		case "row":
+			if len(f) != 3 {
+				err = fmt.Errorf("row wants 2 fields")
+				break
+			}
+			if d.RowHeight, err = strconv.ParseFloat(f[1], 64); err == nil {
+				d.SiteWidth, err = strconv.ParseFloat(f[2], 64)
+			}
+		case "route":
+			if len(f) != 3 {
+				err = fmt.Errorf("route wants 2 fields")
+				break
+			}
+			if d.RouteLayers, err = strconv.Atoi(f[1]); err == nil {
+				d.RouteCapScale, err = strconv.ParseFloat(f[2], 64)
+			}
+		case "density":
+			if len(f) != 2 {
+				err = fmt.Errorf("density wants 1 field")
+				break
+			}
+			d.TargetDensity, err = strconv.ParseFloat(f[1], 64)
+		case "cell":
+			if len(f) != 7 {
+				err = fmt.Errorf("cell wants 6 fields")
+				break
+			}
+			var kind netlist.CellKind
+			if kind, err = parseKind(f[2]); err != nil {
+				break
+			}
+			var v [4]float64
+			if v, err = floats4(f[3:]); err != nil {
+				break
+			}
+			d.Cells = append(d.Cells, netlist.Cell{
+				Name: unescape(f[1]), Kind: kind, X: v[0], Y: v[1], W: v[2], H: v[3],
+			})
+		case "net":
+			if len(f) != 3 {
+				err = fmt.Errorf("net wants 2 fields")
+				break
+			}
+			var wgt float64
+			if wgt, err = strconv.ParseFloat(f[2], 64); err != nil {
+				break
+			}
+			d.Nets = append(d.Nets, netlist.Net{Name: unescape(f[1]), Weight: wgt})
+		case "pin":
+			if len(f) != 5 {
+				err = fmt.Errorf("pin wants 4 fields")
+				break
+			}
+			var ci, ni int
+			if ci, err = strconv.Atoi(f[1]); err != nil {
+				break
+			}
+			if ni, err = strconv.Atoi(f[2]); err != nil {
+				break
+			}
+			var ox, oy float64
+			if ox, err = strconv.ParseFloat(f[3], 64); err != nil {
+				break
+			}
+			if oy, err = strconv.ParseFloat(f[4], 64); err != nil {
+				break
+			}
+			if ci < 0 || ci >= len(d.Cells) {
+				err = fmt.Errorf("pin references cell %d of %d", ci, len(d.Cells))
+				break
+			}
+			if ni < 0 || ni >= len(d.Nets) {
+				err = fmt.Errorf("pin references net %d of %d", ni, len(d.Nets))
+				break
+			}
+			pi := len(d.Pins)
+			d.Pins = append(d.Pins, netlist.Pin{Cell: ci, Net: ni, OffX: ox, OffY: oy})
+			d.Cells[ci].Pins = append(d.Cells[ci].Pins, pi)
+			d.Nets[ni].Pins = append(d.Nets[ni].Pins, pi)
+		case "rail":
+			if len(f) != 6 {
+				err = fmt.Errorf("rail wants 5 fields")
+				break
+			}
+			var v [4]float64
+			if v, err = floats4(f[1:5]); err != nil {
+				break
+			}
+			var width float64
+			if width, err = strconv.ParseFloat(f[5], 64); err != nil {
+				break
+			}
+			d.Rails = append(d.Rails, netlist.PGRail{
+				Seg:   geom.Segment{A: geom.Point{X: v[0], Y: v[1]}, B: geom.Point{X: v[2], Y: v[3]}},
+				Width: width,
+			})
+		default:
+			err = fmt.Errorf("unknown directive %q", f[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("designio: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("designio: %w", err)
+	}
+	if !sawDie {
+		return nil, fmt.Errorf("designio: missing die directive")
+	}
+	for i := range d.Cells {
+		d.Cells[i].NumPins = len(d.Cells[i].Pins)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("designio: %w", err)
+	}
+	return d, nil
+}
+
+func floats4(f []string) ([4]float64, error) {
+	var out [4]float64
+	if len(f) < 4 {
+		return out, fmt.Errorf("want 4 numbers, got %d", len(f))
+	}
+	for i := 0; i < 4; i++ {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func kindName(k netlist.CellKind) string { return k.String() }
+
+func parseKind(s string) (netlist.CellKind, error) {
+	switch s {
+	case "stdcell":
+		return netlist.StdCell, nil
+	case "macro":
+		return netlist.Macro, nil
+	case "iopad":
+		return netlist.IOPad, nil
+	default:
+		return 0, fmt.Errorf("unknown cell kind %q", s)
+	}
+}
+
+// escape protects whitespace in names (names are tokens in the format).
+func escape(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+func unescape(s string) string { return s }

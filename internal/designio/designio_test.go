@@ -1,0 +1,142 @@
+package designio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := synth.MustGenerate("tiny_hot")
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q != %q", got.Name, orig.Name)
+	}
+	if got.Die != orig.Die || got.RowHeight != orig.RowHeight || got.SiteWidth != orig.SiteWidth {
+		t.Errorf("geometry differs")
+	}
+	if got.RouteLayers != orig.RouteLayers || got.RouteCapScale != orig.RouteCapScale ||
+		got.TargetDensity != orig.TargetDensity {
+		t.Errorf("routing/density params differ")
+	}
+	if len(got.Cells) != len(orig.Cells) || len(got.Nets) != len(orig.Nets) ||
+		len(got.Pins) != len(orig.Pins) || len(got.Rails) != len(orig.Rails) {
+		t.Fatalf("counts differ: %d/%d cells, %d/%d nets, %d/%d pins, %d/%d rails",
+			len(got.Cells), len(orig.Cells), len(got.Nets), len(orig.Nets),
+			len(got.Pins), len(orig.Pins), len(got.Rails), len(orig.Rails))
+	}
+	for i := range orig.Cells {
+		a, b := &orig.Cells[i], &got.Cells[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.X != b.X || a.Y != b.Y ||
+			a.W != b.W || a.H != b.H || a.NumPins != b.NumPins {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range orig.Pins {
+		if orig.Pins[i] != got.Pins[i] {
+			t.Fatalf("pin %d differs", i)
+		}
+	}
+	if orig.HPWL() != got.HPWL() {
+		t.Errorf("HPWL differs after round trip")
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	d := synth.MustGenerate("tiny_open")
+	var a, b bytes.Buffer
+	if err := Write(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("serialization not deterministic")
+	}
+}
+
+func TestReadHandwritten(t *testing.T) {
+	src := `
+# a tiny hand-written design
+design demo
+die 0 0 100 100
+row 8 1
+route 4 0.9
+density 0.8
+cell a stdcell 10 10 2 8
+cell b stdcell 50 50 4 8
+cell blk macro 80 80 20 20
+net n1 1
+pin 0 0 0 0
+pin 1 0 -1 2
+rail 0 20 100 20 1.5
+`
+	d, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "demo" || len(d.Cells) != 3 || len(d.Nets) != 1 || len(d.Pins) != 2 || len(d.Rails) != 1 {
+		t.Fatalf("parsed wrong structure: %+v", d)
+	}
+	if d.Cells[2].Kind.String() != "macro" {
+		t.Errorf("macro kind lost")
+	}
+	if d.Nets[0].Degree() != 2 {
+		t.Errorf("net wiring lost")
+	}
+	if d.RouteCapScale != 0.9 || d.TargetDensity != 0.8 {
+		t.Errorf("params lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "die 0 0 10 10\nfrobnicate 1\n",
+		"bad die":           "die 0 0 ten 10\n",
+		"bad cell kind":     "die 0 0 10 10\nrow 8 1\ncell a widget 1 1 1 1\n",
+		"pin bad cell":      "die 0 0 10 10\nrow 8 1\nnet n 1\npin 5 0 0 0\n",
+		"pin bad net":       "die 0 0 10 10\nrow 8 1\ncell a stdcell 1 1 1 1\npin 0 7 0 0\n",
+		"missing die":       "row 8 1\n",
+		"short cell":        "die 0 0 10 10\nrow 8 1\ncell a stdcell 1 1\n",
+		"bad net weight":    "die 0 0 10 10\nrow 8 1\nnet n one\n",
+		"invalid design":    "design d\ndie 0 0 10 10\nrow 0 1\n", // zero row height fails Validate
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEscapeNames(t *testing.T) {
+	d := synth.MustGenerate("tiny_open")
+	d.Cells[0].Name = "has space"
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read after escaping: %v", err)
+	}
+	if strings.Contains(got.Cells[0].Name, " ") {
+		t.Errorf("space survived escaping: %q", got.Cells[0].Name)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "\n# comment\n\ndesign x\ndie 0 0 10 10\nrow 8 1\n\n# more\ncell a stdcell 5 5 1 8\nnet n 1\npin 0 0 0 0\n"
+	if _, err := Read(strings.NewReader(src)); err != nil {
+		t.Fatalf("comments/blank lines rejected: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package inflation implements cell-inflation schemes for mitigating local
+// routing congestion (paper Sec. III-B). The paper's contribution is the
+// momentum-based scheme of Eq. 11–12 with a deflation mechanism; the package
+// also provides the two prior-art baselines the paper contrasts it with
+// (present-congestion-only inflation as in DREAMPlace/RePlAce, and monotone
+// history-based inflation as in Xplace-Route/NTUplace4dr), so the ablation
+// and Table I comparisons exercise real alternatives.
+package inflation
+
+import "math"
+
+// Inflator updates per-cell inflation ratios from a congestion observation.
+// congAt[i] is C_i^t: the congestion value (Eq. 3) of the G-cell containing
+// cell i's center; avg is C̄^t, the mean congestion over all G-cells.
+type Inflator interface {
+	Update(congAt []float64, avg float64)
+	// Ratios returns the current inflation ratio per cell. The returned
+	// slice aliases internal state; callers must not modify it.
+	Ratios() []float64
+}
+
+// epsAvg guards divisions by near-zero average congestion in Eq. 12.
+const epsAvg = 1e-12
+
+// Momentum is the paper's momentum-based cell inflation (Eq. 11–12):
+//
+//	r_i^t  = clamp(r_i^{t−1} + Δr_i^t, RMin, RMax)
+//	Δr_i^t = α·Δr_i^{t−1} + (1−α)·s_i^t,   Δr_i^1 = C_i^1
+//	s_i^t  = δ_i^t·C_i^t
+//
+// with the deflation decision δ_i^t of Eq. 12: when a cell has moved from an
+// above-average-congestion G-cell to a below-average one, δ turns negative
+// with magnitude equal to the relative improvement, shrinking the cell
+// instead of growing it.
+type Momentum struct {
+	RMin, RMax, Alpha float64
+
+	r       []float64
+	dr      []float64
+	cPrev   []float64
+	avgPrev float64
+	t       int
+}
+
+// NewMomentum creates the paper's inflator with its published defaults
+// r_min = 0.9, r_max = 2.0, α = 0.4.
+func NewMomentum(numCells int) *Momentum {
+	m := &Momentum{RMin: 0.9, RMax: 2.0, Alpha: 0.4,
+		r:     make([]float64, numCells),
+		dr:    make([]float64, numCells),
+		cPrev: make([]float64, numCells),
+	}
+	for i := range m.r {
+		m.r[i] = 1 // r_i^0 = 1
+	}
+	return m
+}
+
+// Update applies one inflation iteration (Eq. 11–12).
+func (m *Momentum) Update(congAt []float64, avg float64) {
+	if len(congAt) != len(m.r) {
+		panic("inflation: congestion vector length mismatch")
+	}
+	m.t++
+	for i, c := range congAt {
+		var s float64
+		if m.t == 1 {
+			// Δr_i^1 = C_i^1 (paper's initialization).
+			m.dr[i] = c
+		} else {
+			delta := 1.0
+			if c < avg && m.cPrev[i] > m.avgPrev {
+				// Deflation: the cell moved from above-average to
+				// below-average congestion (Eq. 12).
+				a0 := math.Max(m.avgPrev, epsAvg)
+				a1 := math.Max(avg, epsAvg)
+				delta = -math.Abs((m.cPrev[i]*a1 - c*a0) / (a0 * a1))
+			}
+			s = delta * c
+			m.dr[i] = m.Alpha*m.dr[i] + (1-m.Alpha)*s
+		}
+		prev := m.r[i]
+		m.r[i] = clamp(prev+m.dr[i], m.RMin, m.RMax)
+		// Δr is "the change value in the inflation rate" (paper): carry the
+		// REALIZED change into the momentum so a ratio pinned at a clamp
+		// does not accumulate phantom momentum that would drown the
+		// deflation signal.
+		m.dr[i] = m.r[i] - prev
+		m.cPrev[i] = c
+	}
+	m.avgPrev = avg
+}
+
+// Ratios returns the current inflation ratios (aliases internal state).
+func (m *Momentum) Ratios() []float64 { return m.r }
+
+// Monotonic is the Xplace-Route/NTUplace4dr-style baseline: ratios grow
+// monotonically with observed congestion and never shrink, which the paper
+// identifies as prone to over-inflation ("may lead to over-inflation even
+// when cells have been moved away from the congested area").
+type Monotonic struct {
+	RMax float64
+	Beta float64 // growth gain per unit congestion
+
+	r []float64
+}
+
+// NewMonotonic creates the monotone baseline with r_max = 2.0, β = 0.8.
+func NewMonotonic(numCells int) *Monotonic {
+	m := &Monotonic{RMax: 2.0, Beta: 0.8, r: make([]float64, numCells)}
+	for i := range m.r {
+		m.r[i] = 1
+	}
+	return m
+}
+
+// Update grows each ratio by its current congestion; never shrinks.
+func (m *Monotonic) Update(congAt []float64, _ float64) {
+	if len(congAt) != len(m.r) {
+		panic("inflation: congestion vector length mismatch")
+	}
+	for i, c := range congAt {
+		m.r[i] = clamp(m.r[i]*(1+m.Beta*c), 1, m.RMax)
+	}
+}
+
+// Ratios returns the current inflation ratios (aliases internal state).
+func (m *Monotonic) Ratios() []float64 { return m.r }
+
+// PresentOnly is the memoryless baseline (DREAMPlace/RePlAce style): the
+// ratio is recomputed from the current congestion alone each iteration, so a
+// cell that leaves a hotspot immediately loses its inflation — the paper's
+// Sec. I notes this lets cells "return to the previously congested areas
+// inadvertently".
+type PresentOnly struct {
+	RMax float64
+	r    []float64
+}
+
+// NewPresentOnly creates the memoryless baseline with r_max = 2.0.
+func NewPresentOnly(numCells int) *PresentOnly {
+	return &PresentOnly{RMax: 2.0, r: ones(numCells)}
+}
+
+// Update sets r_i = clamp(1 + C_i, 1, RMax) from the present congestion.
+func (p *PresentOnly) Update(congAt []float64, _ float64) {
+	if len(congAt) != len(p.r) {
+		panic("inflation: congestion vector length mismatch")
+	}
+	for i, c := range congAt {
+		p.r[i] = clamp(1+c, 1, p.RMax)
+	}
+}
+
+// Ratios returns the current inflation ratios (aliases internal state).
+func (p *PresentOnly) Ratios() []float64 { return p.r }
+
+func ones(n int) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1
+	}
+	return r
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+package inflation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentumDefaultsMatchPaper(t *testing.T) {
+	m := NewMomentum(3)
+	if m.RMin != 0.9 || m.RMax != 2.0 || m.Alpha != 0.4 {
+		t.Errorf("defaults %v/%v/%v, want 0.9/2.0/0.4", m.RMin, m.RMax, m.Alpha)
+	}
+	for _, r := range m.Ratios() {
+		if r != 1 {
+			t.Errorf("r^0 = %v, want 1", r)
+		}
+	}
+}
+
+func TestMomentumFirstIterationUsescongestionAsDelta(t *testing.T) {
+	m := NewMomentum(2)
+	m.Update([]float64{0.5, 0}, 0.25)
+	// Δr^1 = C^1, so r^1 = 1 + C.
+	if got := m.Ratios()[0]; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("r[0] = %v, want 1.5", got)
+	}
+	if got := m.Ratios()[1]; got != 1 {
+		t.Errorf("uncongested cell inflated: %v", got)
+	}
+}
+
+func TestMomentumGrowsUnderPersistentCongestion(t *testing.T) {
+	m := NewMomentum(1)
+	prev := 1.0
+	for it := 0; it < 6; it++ {
+		m.Update([]float64{0.6}, 0.1)
+		r := m.Ratios()[0]
+		if r < prev {
+			t.Fatalf("iteration %d: ratio shrank under persistent congestion (%v → %v)", it, prev, r)
+		}
+		prev = r
+	}
+	if prev < 1.5 {
+		t.Errorf("persistent congestion only reached r=%v", prev)
+	}
+}
+
+func TestMomentumCapsAtRMax(t *testing.T) {
+	m := NewMomentum(1)
+	for it := 0; it < 50; it++ {
+		m.Update([]float64{3.0}, 0.1)
+	}
+	if got := m.Ratios()[0]; got != 2.0 {
+		t.Errorf("ratio %v, want capped at 2.0", got)
+	}
+}
+
+func TestMomentumDeflationOnEscape(t *testing.T) {
+	// A cell sits in heavy congestion, then escapes to a low-congestion
+	// area: Eq. 12 must produce a negative correction, shrinking r.
+	m := NewMomentum(1)
+	m.Update([]float64{0.8}, 0.3) // above average
+	m.Update([]float64{0.8}, 0.3)
+	atPeak := m.Ratios()[0]
+	// Escape to below-average (but nonzero) congestion: Eq. 12's deflation
+	// branch fires on this transition iteration and must shrink r. (Note
+	// s = δ·C_i^t, so an escape straight to C = 0 produces no deflation —
+	// that is the published formula's behaviour.)
+	m.Update([]float64{0.2}, 0.3)
+	after := m.Ratios()[0]
+	if after >= atPeak {
+		t.Errorf("no deflation after escape: %v → %v", atPeak, after)
+	}
+}
+
+func TestMomentumDeflationFloorsAtRMin(t *testing.T) {
+	m := NewMomentum(1)
+	m.Update([]float64{1.5}, 0.2)
+	for it := 0; it < 40; it++ {
+		// Alternate just enough to keep triggering the deflation branch.
+		m.Update([]float64{0.4}, 0.1) // above avg
+		m.Update([]float64{0.01}, 0.1)
+	}
+	if got := m.Ratios()[0]; got < 0.9-1e-12 {
+		t.Errorf("ratio %v fell below RMin", got)
+	}
+}
+
+func TestMomentumStableAtZeroCongestion(t *testing.T) {
+	// Once a cell is fully uncongested, the momentum decays and r plateaus
+	// (the paper's "inflation persists" behaviour, preventing return to the
+	// hotspot).
+	m := NewMomentum(1)
+	m.Update([]float64{0.5}, 0.1)
+	m.Update([]float64{0.5}, 0.1)
+	m.Update([]float64{0}, 0.2) // escape triggers deflation (δ·C = 0 here)
+	var prev float64
+	for it := 0; it < 30; it++ {
+		m.Update([]float64{0}, 0.0)
+		r := m.Ratios()[0]
+		if it > 20 && math.Abs(r-prev) > 1e-6 {
+			t.Fatalf("ratio still moving at zero congestion: %v → %v", prev, r)
+		}
+		prev = r
+	}
+	if prev < 0.9 || prev > 2.0 {
+		t.Errorf("plateau %v outside [RMin, RMax]", prev)
+	}
+}
+
+func TestMomentumBoundsProperty(t *testing.T) {
+	// For any congestion sequence, ratios stay within [RMin, RMax].
+	f := func(cs []float64, avgs []float64) bool {
+		m := NewMomentum(1)
+		for i := 0; i < len(cs) && i < len(avgs); i++ {
+			c := math.Abs(math.Mod(cs[i], 5))
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				c = 0
+			}
+			a := math.Abs(math.Mod(avgs[i], 2))
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				a = 0
+			}
+			m.Update([]float64{c}, a)
+			r := m.Ratios()[0]
+			if r < m.RMin-1e-12 || r > m.RMax+1e-12 || math.IsNaN(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicNeverShrinks(t *testing.T) {
+	m := NewMonotonic(1)
+	m.Update([]float64{1.0}, 0.5)
+	peak := m.Ratios()[0]
+	if peak <= 1 {
+		t.Fatalf("no growth under congestion")
+	}
+	m.Update([]float64{0}, 0)
+	m.Update([]float64{0}, 0)
+	if got := m.Ratios()[0]; got < peak {
+		t.Errorf("monotone baseline shrank: %v → %v", peak, got)
+	}
+	for it := 0; it < 50; it++ {
+		m.Update([]float64{2}, 0.5)
+	}
+	if got := m.Ratios()[0]; got != 2.0 {
+		t.Errorf("monotone cap %v, want 2.0", got)
+	}
+}
+
+func TestPresentOnlyForgetsImmediately(t *testing.T) {
+	p := NewPresentOnly(1)
+	p.Update([]float64{0.7}, 0.2)
+	if got := p.Ratios()[0]; math.Abs(got-1.7) > 1e-12 {
+		t.Fatalf("present-only ratio %v, want 1.7", got)
+	}
+	p.Update([]float64{0}, 0)
+	if got := p.Ratios()[0]; got != 1 {
+		t.Errorf("present-only did not forget: %v", got)
+	}
+	p.Update([]float64{5}, 1)
+	if got := p.Ratios()[0]; got != 2.0 {
+		t.Errorf("present-only cap %v, want 2.0", got)
+	}
+}
+
+func TestUpdatePanicsOnLengthMismatch(t *testing.T) {
+	for _, inf := range []Inflator{NewMomentum(2), NewMonotonic(2), NewPresentOnly(2)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: length mismatch not caught", inf)
+				}
+			}()
+			inf.Update([]float64{1}, 0)
+		}()
+	}
+}
+
+func TestSchemesDivergeOnEscapeScenario(t *testing.T) {
+	// The scenario from the paper's Sec. I: a cell is congested for a few
+	// iterations, then escapes. Present-only drops straight back to 1
+	// (risking return), monotone stays pinned high (over-inflation), and
+	// momentum settles in between.
+	mom := NewMomentum(1)
+	mon := NewMonotonic(1)
+	pre := NewPresentOnly(1)
+	seq := []struct{ c, avg float64 }{
+		{0.9, 0.3}, {0.9, 0.3}, {0.9, 0.3}, // congested
+		{0.2, 0.3}, {0.1, 0.25}, // escaping gradually
+	}
+	for _, s := range seq {
+		mom.Update([]float64{s.c}, s.avg)
+		mon.Update([]float64{s.c}, s.avg)
+		pre.Update([]float64{s.c}, s.avg)
+	}
+	rm, rn, rp := mom.Ratios()[0], mon.Ratios()[0], pre.Ratios()[0]
+	if !(rp < rm && rm < rn) {
+		t.Errorf("expected present(%v) < momentum(%v) < monotone(%v)", rp, rm, rn)
+	}
+}

@@ -1,0 +1,131 @@
+// Package nesterov implements the accelerated first-order optimizer of
+// ePlace (Lu et al., TODAES 2015) used to solve the placement objective
+// (paper Sec. II-A, Eq. 5): Nesterov's method with the a_k momentum sequence
+// and a backtracking-free Lipschitz step-size estimate from successive
+// preconditioned gradients.
+package nesterov
+
+import "math"
+
+// Objective is the function being minimized. Eval writes the gradient at x
+// into grad (overwriting it) and returns the objective value. Precondition
+// rescales a raw gradient in place (ePlace divides by vertex degree + λ·area).
+// Clamp projects a candidate point back into the feasible box.
+type Objective interface {
+	Eval(x []float64, grad []float64) float64
+	Precondition(grad []float64)
+	Clamp(x []float64)
+}
+
+// Optimizer carries the Nesterov state across iterations for a fixed
+// dimension n.
+type Optimizer struct {
+	// StepMin and StepMax clamp the Lipschitz step estimate.
+	StepMin, StepMax float64
+
+	n     int
+	a     float64
+	u     []float64 // main sequence
+	v     []float64 // reference (lookahead) sequence
+	vPrev []float64
+	gPrev []float64 // preconditioned gradient at vPrev
+	g     []float64
+	first bool
+	step0 float64
+}
+
+// New creates an optimizer for an n-dimensional problem starting at x0
+// (copied), with initial step size step0.
+func New(x0 []float64, step0 float64) *Optimizer {
+	n := len(x0)
+	o := &Optimizer{
+		StepMin: 1e-8,
+		StepMax: math.Inf(1),
+		n:       n,
+		a:       1,
+		u:       append([]float64(nil), x0...),
+		v:       append([]float64(nil), x0...),
+		vPrev:   make([]float64, n),
+		gPrev:   make([]float64, n),
+		g:       make([]float64, n),
+		first:   true,
+		step0:   step0,
+	}
+	return o
+}
+
+// X returns the current reference point (the iterate at which gradients are
+// evaluated; also the point callers should read placements from during the
+// run). The returned slice aliases internal state — do not modify.
+func (o *Optimizer) X() []float64 { return o.v }
+
+// U returns the main-sequence iterate (the converged solution when the run
+// stops). Aliases internal state.
+func (o *Optimizer) U() []float64 { return o.u }
+
+// Reset re-anchors the optimizer at x0 (e.g. after the problem changed
+// discontinuously — new inflation ratios or congestion maps), restarting the
+// momentum sequence.
+func (o *Optimizer) Reset(x0 []float64) {
+	copy(o.u, x0)
+	copy(o.v, x0)
+	o.a = 1
+	o.first = true
+}
+
+// Step performs one Nesterov iteration and returns the objective value
+// observed at the reference point, together with the step size used.
+func (o *Optimizer) Step(obj Objective) (val, step float64) {
+	val = obj.Eval(o.v, o.g)
+	obj.Precondition(o.g)
+
+	if o.first {
+		step = o.step0
+		o.first = false
+	} else {
+		// Inverse local Lipschitz constant: |Δv| / |Δg|.
+		var dv, dg float64
+		for i := 0; i < o.n; i++ {
+			d := o.v[i] - o.vPrev[i]
+			dv += d * d
+			e := o.g[i] - o.gPrev[i]
+			dg += e * e
+		}
+		if dg > 0 {
+			step = math.Sqrt(dv / dg)
+		} else {
+			step = o.step0
+		}
+		if step < o.StepMin {
+			step = o.StepMin
+		}
+		if step > o.StepMax {
+			step = o.StepMax
+		}
+	}
+
+	copy(o.vPrev, o.v)
+	copy(o.gPrev, o.g)
+
+	// u_{k+1} = v_k − α·g ; a_{k+1} ; v_{k+1} = u_{k+1} + ((a_k−1)/a_{k+1})(u_{k+1} − u_k)
+	aNew := (1 + math.Sqrt(4*o.a*o.a+1)) / 2
+	coef := (o.a - 1) / aNew
+	for i := 0; i < o.n; i++ {
+		uNew := o.v[i] - step*o.g[i]
+		o.v[i] = uNew + coef*(uNew-o.u[i])
+		o.u[i] = uNew
+	}
+	obj.Clamp(o.u)
+	obj.Clamp(o.v)
+	o.a = aNew
+	return val, step
+}
+
+// GradNorm returns the L2 norm of the last preconditioned gradient.
+func (o *Optimizer) GradNorm() float64 {
+	var s float64
+	for _, g := range o.gPrev {
+		s += g * g
+	}
+	return math.Sqrt(s)
+}

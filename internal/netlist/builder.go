@@ -1,0 +1,90 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Builder constructs a Design incrementally while maintaining the cell/net/
+// pin cross-references. The synthetic benchmark generator and the unit tests
+// use it; it is also the natural target for a future file-format loader.
+type Builder struct {
+	d Design
+}
+
+// NewBuilder starts a design with the given name and die rectangle.
+func NewBuilder(name string, die geom.Rect, rowHeight, siteWidth float64) *Builder {
+	return &Builder{d: Design{
+		Name:          name,
+		Die:           die,
+		RowHeight:     rowHeight,
+		SiteWidth:     siteWidth,
+		RouteLayers:   4,
+		RouteCapScale: 1.0,
+		TargetDensity: 0.9,
+	}}
+}
+
+// AddCell appends a cell and returns its index.
+func (b *Builder) AddCell(name string, kind CellKind, x, y, w, h float64) int {
+	b.d.Cells = append(b.d.Cells, Cell{Name: name, Kind: kind, X: x, Y: y, W: w, H: h})
+	return len(b.d.Cells) - 1
+}
+
+// AddNet appends an empty net and returns its index.
+func (b *Builder) AddNet(name string, weight float64) int {
+	b.d.Nets = append(b.d.Nets, Net{Name: name, Weight: weight})
+	return len(b.d.Nets) - 1
+}
+
+// Connect attaches a new pin on cell to net with the given offsets from the
+// cell center, and returns the pin index.
+func (b *Builder) Connect(cell, net int, offX, offY float64) int {
+	if cell < 0 || cell >= len(b.d.Cells) {
+		panic(fmt.Sprintf("netlist: Connect to bad cell %d", cell))
+	}
+	if net < 0 || net >= len(b.d.Nets) {
+		panic(fmt.Sprintf("netlist: Connect to bad net %d", net))
+	}
+	pi := len(b.d.Pins)
+	b.d.Pins = append(b.d.Pins, Pin{Cell: cell, Net: net, OffX: offX, OffY: offY})
+	b.d.Cells[cell].Pins = append(b.d.Cells[cell].Pins, pi)
+	b.d.Nets[net].Pins = append(b.d.Nets[net].Pins, pi)
+	return pi
+}
+
+// AddRail appends a PG rail.
+func (b *Builder) AddRail(seg geom.Segment, width float64) {
+	b.d.Rails = append(b.d.Rails, PGRail{Seg: seg, Width: width})
+}
+
+// SetRouteLayers overrides the default routing layer count.
+func (b *Builder) SetRouteLayers(n int) { b.d.RouteLayers = n }
+
+// SetRouteCapScale overrides the routing capacity scale factor.
+func (b *Builder) SetRouteCapScale(s float64) { b.d.RouteCapScale = s }
+
+// SetTargetDensity overrides the default bin density bound.
+func (b *Builder) SetTargetDensity(td float64) { b.d.TargetDensity = td }
+
+// Build finalizes pin-count caches, validates the design and returns it.
+func (b *Builder) Build() (*Design, error) {
+	for i := range b.d.Cells {
+		b.d.Cells[i].NumPins = len(b.d.Cells[i].Pins)
+	}
+	if err := b.d.Validate(); err != nil {
+		return nil, err
+	}
+	d := b.d
+	return &d, nil
+}
+
+// MustBuild is Build for tests and generators with known-good inputs.
+func (b *Builder) MustBuild() *Design {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,343 @@
+// Package netlist defines the circuit data model shared by every stage of
+// the placer: cells, nets, pins, macros, power/ground rails and the design
+// container. The model matches what the ISPD 2015 contest benchmarks provide
+// to a detailed-routing-driven placement flow — standard cells on rows,
+// fixed macro blocks, a pin-level hypergraph, and M2 PG rails.
+package netlist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// CellKind distinguishes the three classes of placeable objects.
+type CellKind uint8
+
+const (
+	// StdCell is a movable standard cell placed on rows.
+	StdCell CellKind = iota
+	// Macro is a fixed macro block (placement blockage + routing obstacle).
+	Macro
+	// IOPad is a fixed terminal on or near the die boundary.
+	IOPad
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case StdCell:
+		return "stdcell"
+	case Macro:
+		return "macro"
+	case IOPad:
+		return "iopad"
+	default:
+		return "unknown"
+	}
+}
+
+// Cell is one placeable (or fixed) object. Positions X, Y are the cell
+// CENTER in DBU; the placer optimizes centers and converts to lower-left
+// corners only at legalization.
+type Cell struct {
+	Name string
+	Kind CellKind
+	X, Y float64 // center
+	W, H float64 // size
+	Pins []int   // indices into Design.Pins
+
+	// NumPins caches len(Pins); Algorithm 2 compares it to the design
+	// average when selecting multi-pin cells.
+	NumPins int
+}
+
+// Movable reports whether the placer may move the cell.
+func (c *Cell) Movable() bool { return c.Kind == StdCell }
+
+// Area returns the footprint area of the cell.
+func (c *Cell) Area() float64 { return c.W * c.H }
+
+// Rect returns the cell's bounding rectangle at its current position.
+func (c *Cell) Rect() geom.Rect {
+	return geom.Rect{
+		Lo: geom.Point{X: c.X - c.W/2, Y: c.Y - c.H/2},
+		Hi: geom.Point{X: c.X + c.W/2, Y: c.Y + c.H/2},
+	}
+}
+
+// Pin is a connection point. It belongs to exactly one cell and one net.
+// Offsets are measured from the cell center, so the absolute pin location is
+// (cell.X+OffX, cell.Y+OffY) and moves with the cell.
+type Pin struct {
+	Cell int // index into Design.Cells
+	Net  int // index into Design.Nets
+	OffX float64
+	OffY float64
+}
+
+// Net is a hyperedge over pins.
+type Net struct {
+	Name   string
+	Pins   []int // indices into Design.Pins
+	Weight float64
+}
+
+// Degree returns the number of pins on the net.
+func (n *Net) Degree() int { return len(n.Pins) }
+
+// PGRail is one power or ground rail segment on the M2 layer. The paper's
+// pin-accessibility technique selects a subset of these for density
+// adjustment (Sec. III-C).
+type PGRail struct {
+	Seg   geom.Segment
+	Width float64 // rail width in DBU
+}
+
+// Rect returns the area footprint of the rail (the segment thickened by the
+// rail width), used for overlap-with-bin computation in Eq. 14.
+func (r PGRail) Rect() geom.Rect {
+	h := r.Width / 2
+	a, b := r.Seg.A, r.Seg.B
+	return geom.NewRect(math.Min(a.X, b.X)-h, math.Min(a.Y, b.Y)-h,
+		math.Max(a.X, b.X)+h, math.Max(a.Y, b.Y)+h)
+}
+
+// Design is a complete placement instance.
+type Design struct {
+	Name      string
+	Die       geom.Rect
+	RowHeight float64
+	SiteWidth float64
+
+	Cells []Cell
+	Nets  []Net
+	Pins  []Pin
+	Rails []PGRail
+
+	// RouteLayers is the number of routing layers the global router models.
+	RouteLayers int
+	// RouteCapScale scales per-layer routing capacity; 1.0 is the nominal
+	// track density, lower values model resource-constrained technologies.
+	RouteCapScale float64
+	// TargetDensity is the bin density upper bound used by the density term.
+	TargetDensity float64
+}
+
+// PinPos returns the absolute position of pin p.
+func (d *Design) PinPos(p int) geom.Point {
+	pin := &d.Pins[p]
+	c := &d.Cells[pin.Cell]
+	return geom.Point{X: c.X + pin.OffX, Y: c.Y + pin.OffY}
+}
+
+// NetBBox returns the bounding box of net e's pins.
+func (d *Design) NetBBox(e int) geom.Rect {
+	net := &d.Nets[e]
+	if len(net.Pins) == 0 {
+		return geom.Rect{}
+	}
+	p0 := d.PinPos(net.Pins[0])
+	r := geom.Rect{Lo: p0, Hi: p0}
+	for _, pi := range net.Pins[1:] {
+		p := d.PinPos(pi)
+		if p.X < r.Lo.X {
+			r.Lo.X = p.X
+		}
+		if p.X > r.Hi.X {
+			r.Hi.X = p.X
+		}
+		if p.Y < r.Lo.Y {
+			r.Lo.Y = p.Y
+		}
+		if p.Y > r.Hi.Y {
+			r.Hi.Y = p.Y
+		}
+	}
+	return r
+}
+
+// HPWL returns the weighted total half-perimeter wirelength of the design.
+func (d *Design) HPWL() float64 {
+	var total float64
+	for e := range d.Nets {
+		if d.Nets[e].Degree() < 2 {
+			continue
+		}
+		bb := d.NetBBox(e)
+		w := d.Nets[e].Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w * (bb.W() + bb.H())
+	}
+	return total
+}
+
+// Stats summarizes a design for reporting and for generator validation.
+type Stats struct {
+	NumCells    int
+	NumMovable  int
+	NumMacros   int
+	NumIOPads   int
+	NumNets     int
+	NumPins     int
+	NumRails    int
+	MovableArea float64
+	FixedArea   float64
+	DieArea     float64
+	Utilization float64 // movable area / free area
+	AvgPins     float64 // average pins per cell (Alg. 2's n̄)
+}
+
+// ComputeStats derives summary statistics.
+func (d *Design) ComputeStats() Stats {
+	var s Stats
+	s.NumCells = len(d.Cells)
+	s.NumNets = len(d.Nets)
+	s.NumPins = len(d.Pins)
+	s.NumRails = len(d.Rails)
+	s.DieArea = d.Die.Area()
+	var pinSum int
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		pinSum += c.NumPins
+		switch c.Kind {
+		case StdCell:
+			s.NumMovable++
+			s.MovableArea += c.Area()
+		case Macro:
+			s.NumMacros++
+			s.FixedArea += c.Rect().Intersect(d.Die).Area()
+		case IOPad:
+			s.NumIOPads++
+		}
+	}
+	free := s.DieArea - s.FixedArea
+	if free > 0 {
+		s.Utilization = s.MovableArea / free
+	}
+	if s.NumCells > 0 {
+		s.AvgPins = float64(pinSum) / float64(s.NumCells)
+	}
+	return s
+}
+
+// AvgPinsPerCell returns n̄ of Algorithm 2: the mean pin count over all cells.
+func (d *Design) AvgPinsPerCell() float64 {
+	if len(d.Cells) == 0 {
+		return 0
+	}
+	var sum int
+	for i := range d.Cells {
+		sum += d.Cells[i].NumPins
+	}
+	return float64(sum) / float64(len(d.Cells))
+}
+
+// MovableIndices returns the indices of all movable cells, in order.
+func (d *Design) MovableIndices() []int {
+	out := make([]int, 0, len(d.Cells))
+	for i := range d.Cells {
+		if d.Cells[i].Movable() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MacroRects returns the bounding rectangles of all macros.
+func (d *Design) MacroRects() []geom.Rect {
+	var out []geom.Rect
+	for i := range d.Cells {
+		if d.Cells[i].Kind == Macro {
+			out = append(out, d.Cells[i].Rect())
+		}
+	}
+	return out
+}
+
+// SnapshotPositions copies the centers of all cells into a flat [x0,y0,x1,y1,...]
+// slice; RestorePositions writes such a snapshot back. The optimizer and the
+// evaluator use snapshots to compare placements without copying whole designs.
+func (d *Design) SnapshotPositions() []float64 {
+	out := make([]float64, 2*len(d.Cells))
+	for i := range d.Cells {
+		out[2*i] = d.Cells[i].X
+		out[2*i+1] = d.Cells[i].Y
+	}
+	return out
+}
+
+// RestorePositions writes a snapshot produced by SnapshotPositions back into
+// the design. It panics if the snapshot length does not match.
+func (d *Design) RestorePositions(snap []float64) {
+	if len(snap) != 2*len(d.Cells) {
+		panic("netlist: snapshot length mismatch")
+	}
+	for i := range d.Cells {
+		d.Cells[i].X = snap[2*i]
+		d.Cells[i].Y = snap[2*i+1]
+	}
+}
+
+// ClampToDie moves every movable cell's center so its footprint stays inside
+// the die.
+func (d *Design) ClampToDie() {
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Movable() {
+			continue
+		}
+		c.X = geom.Clamp(c.X, d.Die.Lo.X+c.W/2, d.Die.Hi.X-c.W/2)
+		c.Y = geom.Clamp(c.Y, d.Die.Lo.Y+c.H/2, d.Die.Hi.Y-c.H/2)
+	}
+}
+
+// Validate checks referential integrity of the hypergraph and geometry; the
+// synthetic generator and file loaders run it after construction.
+func (d *Design) Validate() error {
+	if d.Die.Empty() {
+		return fmt.Errorf("design %s: empty die", d.Name)
+	}
+	if d.RowHeight <= 0 || d.SiteWidth <= 0 {
+		return fmt.Errorf("design %s: non-positive row height or site width", d.Name)
+	}
+	for i := range d.Pins {
+		p := &d.Pins[i]
+		if p.Cell < 0 || p.Cell >= len(d.Cells) {
+			return fmt.Errorf("pin %d: bad cell index %d", i, p.Cell)
+		}
+		if p.Net < 0 || p.Net >= len(d.Nets) {
+			return fmt.Errorf("pin %d: bad net index %d", i, p.Net)
+		}
+	}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.W <= 0 || c.H <= 0 {
+			return fmt.Errorf("cell %d (%s): non-positive size", ci, c.Name)
+		}
+		if c.NumPins != len(c.Pins) {
+			return fmt.Errorf("cell %d (%s): NumPins cache %d != %d", ci, c.Name, c.NumPins, len(c.Pins))
+		}
+		for _, pi := range c.Pins {
+			if pi < 0 || pi >= len(d.Pins) {
+				return fmt.Errorf("cell %d: bad pin index %d", ci, pi)
+			}
+			if d.Pins[pi].Cell != ci {
+				return fmt.Errorf("cell %d: pin %d back-reference mismatch", ci, pi)
+			}
+		}
+	}
+	for ei := range d.Nets {
+		for _, pi := range d.Nets[ei].Pins {
+			if pi < 0 || pi >= len(d.Pins) {
+				return fmt.Errorf("net %d: bad pin index %d", ei, pi)
+			}
+			if d.Pins[pi].Net != ei {
+				return fmt.Errorf("net %d: pin %d back-reference mismatch", ei, pi)
+			}
+		}
+	}
+	return nil
+}

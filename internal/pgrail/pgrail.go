@@ -1,0 +1,115 @@
+// Package pgrail implements the dynamic pin-accessibility density
+// optimization of paper Sec. III-C: selecting the power/ground rails whose
+// surrounding cell density may safely be adjusted (step 1, Fig. 4), and
+// converting the selected rails plus the current congestion map into the
+// additive bin density D^PG of Eq. 13–15 (step 2), re-evaluated every
+// routability iteration.
+package pgrail
+
+import (
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// MacroExpand is the fractional bounding-box expansion applied to each macro
+// before cutting rails (the paper expands by 10%).
+const MacroExpand = 0.10
+
+// MinLenFrac is the minimum selected-rail length as a fraction of the
+// placement region's width (horizontal rails) or height (vertical rails);
+// the paper uses 0.2.
+const MinLenFrac = 0.20
+
+// SelectRails performs the pre-processing step of Sec. III-C: every rail is
+// cut by the 10%-expanded macro bounding boxes, and the surviving pieces are
+// kept only if they are at least 0.2× the die width (horizontal) or height
+// (vertical). The narrow channels between macros — already congested — are
+// thereby excluded from density adjustment.
+func SelectRails(d *netlist.Design) []netlist.PGRail {
+	blockers := make([]geom.Rect, 0, 8)
+	for _, r := range d.MacroRects() {
+		blockers = append(blockers, r.Expand(MacroExpand))
+	}
+	minH := MinLenFrac * d.Die.W()
+	minV := MinLenFrac * d.Die.H()
+	var out []netlist.PGRail
+	for _, rail := range d.Rails {
+		for _, piece := range geom.CutAxisSegment(rail.Seg, blockers) {
+			keep := false
+			switch {
+			case piece.Horizontal():
+				keep = piece.Len() >= minH
+			case piece.Vertical():
+				keep = piece.Len() >= minV
+			}
+			if keep {
+				out = append(out, netlist.PGRail{Seg: piece, Width: rail.Width})
+			}
+		}
+	}
+	return out
+}
+
+// BinGrid describes the bin discretization shared with the density model
+// (the paper predefines G-cells and bins to have the same dimensions, so a
+// G-cell congestion value maps 1:1 onto a bin).
+type BinGrid struct {
+	NX, NY     int
+	Die        geom.Rect
+	BinW, BinH float64
+}
+
+// Density computes the PG-rail additive area term of Eq. 14:
+//
+//	D_b^PG · A_b = η_b·(1+C_b) · Σ_{i∈V_PG} A_{PG_i ∩ b}
+//
+// returning area-per-bin values (the density model divides by A_b), where
+// η_b = 1 iff the bin's congestion C_b exceeds the average C̄ (Eq. 15).
+// cong is the bin-mapped congestion map with NX·NY entries, avg its mean.
+func Density(selected []netlist.PGRail, grid BinGrid, cong []float64, avg float64) []float64 {
+	if len(cong) != grid.NX*grid.NY {
+		panic("pgrail: congestion map length mismatch")
+	}
+	out := make([]float64, grid.NX*grid.NY)
+	for _, rail := range selected {
+		r := rail.Rect().Intersect(grid.Die)
+		if r.Empty() {
+			continue
+		}
+		bx0 := geom.ClampInt(int((r.Lo.X-grid.Die.Lo.X)/grid.BinW), 0, grid.NX-1)
+		bx1 := geom.ClampInt(int((r.Hi.X-grid.Die.Lo.X)/grid.BinW), 0, grid.NX-1)
+		by0 := geom.ClampInt(int((r.Lo.Y-grid.Die.Lo.Y)/grid.BinH), 0, grid.NY-1)
+		by1 := geom.ClampInt(int((r.Hi.Y-grid.Die.Lo.Y)/grid.BinH), 0, grid.NY-1)
+		for by := by0; by <= by1; by++ {
+			y0 := grid.Die.Lo.Y + float64(by)*grid.BinH
+			oy := geom.OverlapLen(r.Lo.Y, r.Hi.Y, y0, y0+grid.BinH)
+			if oy <= 0 {
+				continue
+			}
+			for bx := bx0; bx <= bx1; bx++ {
+				x0 := grid.Die.Lo.X + float64(bx)*grid.BinW
+				ox := geom.OverlapLen(r.Lo.X, r.Hi.X, x0, x0+grid.BinW)
+				if ox <= 0 {
+					continue
+				}
+				b := by*grid.NX + bx
+				if cong[b] > avg { // η_b gate, Eq. 15
+					out[b] += ox * oy * (1 + cong[b])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StaticDensity is the Xplace-Route-style baseline (Sec. III-C: "Xplace-Route
+// only adjusts cell density around PG rails before placement"): every rail —
+// unselected, uncut — contributes its overlap area to every bin it touches,
+// with no congestion gating and no per-iteration adaptation.
+func StaticDensity(d *netlist.Design, grid BinGrid) []float64 {
+	out := make([]float64, grid.NX*grid.NY)
+	ones := make([]float64, grid.NX*grid.NY) // C_b = 0 everywhere, η forced on
+	res := Density(d.Rails, grid, ones, -1)  // avg −1 < 0 = every bin passes
+	copy(out, res)
+	return out
+}

@@ -1,0 +1,223 @@
+package pgrail
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// railDesign builds a die with one macro and three horizontal rails: one
+// crossing the macro, one clear and long, one clear but short.
+func railDesign(t testing.TB) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("rails", geom.NewRect(0, 0, 100, 100), 10, 1)
+	b.AddCell("m", netlist.Macro, 50, 50, 40, 20) // rect [30,40]x[70,60]
+	b.AddCell("c", netlist.StdCell, 10, 10, 2, 10)
+	n := b.AddNet("n", 1)
+	b.Connect(0, n, 0, 0)
+	b.Connect(1, n, 0, 0)
+	// Rail crossing the macro at y=50.
+	b.AddRail(geom.Segment{A: geom.Point{X: 0, Y: 50}, B: geom.Point{X: 100, Y: 50}}, 2)
+	// Clear rail at y=80.
+	b.AddRail(geom.Segment{A: geom.Point{X: 0, Y: 80}, B: geom.Point{X: 100, Y: 80}}, 2)
+	// Short rail at y=20 (length 10 < 0.2·100).
+	b.AddRail(geom.Segment{A: geom.Point{X: 45, Y: 20}, B: geom.Point{X: 55, Y: 20}}, 2)
+	return b.MustBuild()
+}
+
+func TestSelectRailsCutsAndFilters(t *testing.T) {
+	d := railDesign(t)
+	sel := SelectRails(d)
+	// Expect: rail y=50 cut into [0, 28] and [72, 100] (macro expanded 10%:
+	// [26,38]x[74,62]), both pieces ≥ 20 → kept; rail y=80 kept whole;
+	// short rail dropped. Total 3 rails.
+	if len(sel) != 3 {
+		t.Fatalf("selected %d rails, want 3: %+v", len(sel), sel)
+	}
+	var cutPieces, whole int
+	for _, r := range sel {
+		if !r.Seg.Horizontal() {
+			t.Errorf("selected rail not horizontal")
+		}
+		if r.Seg.Len() < 0.2*d.Die.W() {
+			t.Errorf("selected rail shorter than threshold: %v", r.Seg.Len())
+		}
+		switch r.Seg.A.Y {
+		case 50:
+			cutPieces++
+		case 80:
+			whole++
+		case 20:
+			t.Errorf("short rail was selected")
+		}
+	}
+	if cutPieces != 2 || whole != 1 {
+		t.Errorf("cut pieces %d (want 2), whole %d (want 1)", cutPieces, whole)
+	}
+	// Verify the macro expansion: the cut boundary must be at 26 (30−10%·40).
+	for _, r := range sel {
+		if r.Seg.A.Y == 50 && r.Seg.A.X == 0 {
+			if math.Abs(r.Seg.B.X-26) > 1e-9 {
+				t.Errorf("left piece ends at %v, want 26 (10%% expanded macro)", r.Seg.B.X)
+			}
+		}
+	}
+}
+
+func TestSelectRailsNoMacros(t *testing.T) {
+	b := netlist.NewBuilder("nomacro", geom.NewRect(0, 0, 100, 100), 10, 1)
+	b.AddCell("c", netlist.StdCell, 10, 10, 2, 10)
+	n := b.AddNet("n", 1)
+	b.Connect(0, n, 0, 0)
+	b.AddRail(geom.Segment{A: geom.Point{X: 0, Y: 30}, B: geom.Point{X: 100, Y: 30}}, 2)
+	d := b.MustBuild()
+	sel := SelectRails(d)
+	if len(sel) != 1 || sel[0].Seg.Len() != 100 {
+		t.Errorf("rail without macros should be selected whole: %+v", sel)
+	}
+}
+
+func TestSelectRailsOnSyntheticMatrixMultA(t *testing.T) {
+	// Fig. 4's design: the macro grid must remove some rails/pieces.
+	d := synth.MustGenerate("matrix_mult_a")
+	sel := SelectRails(d)
+	if len(sel) == 0 {
+		t.Fatalf("no rails selected on matrix_mult_a")
+	}
+	var selLen, totLen float64
+	for _, r := range sel {
+		selLen += r.Seg.Len()
+	}
+	for _, r := range d.Rails {
+		totLen += r.Seg.Len()
+	}
+	if selLen >= totLen {
+		t.Errorf("selection did not remove any rail length (%v of %v)", selLen, totLen)
+	}
+	if selLen < 0.2*totLen {
+		t.Errorf("selection removed almost everything (%v of %v)", selLen, totLen)
+	}
+}
+
+func testGrid() BinGrid {
+	return BinGrid{NX: 10, NY: 10, Die: geom.NewRect(0, 0, 100, 100), BinW: 10, BinH: 10}
+}
+
+func TestDensityGatedByCongestion(t *testing.T) {
+	g := testGrid()
+	rails := []netlist.PGRail{{
+		Seg:   geom.Segment{A: geom.Point{X: 0, Y: 55}, B: geom.Point{X: 100, Y: 55}},
+		Width: 4,
+	}}
+	cong := make([]float64, 100)
+	// Congest only bins x∈[0..4] of row 5.
+	for bx := 0; bx < 5; bx++ {
+		cong[5*10+bx] = 0.5
+	}
+	avg := 0.025 // mean over the map
+	out := Density(rails, g, cong, avg)
+	for bx := 0; bx < 10; bx++ {
+		b := 5*10 + bx
+		if bx < 5 {
+			want := 10.0 * 4 * (1 + 0.5) // overlap area × (1+C_b)
+			if math.Abs(out[b]-want) > 1e-9 {
+				t.Errorf("bin %d density %v, want %v", b, out[b], want)
+			}
+		} else if out[b] != 0 {
+			t.Errorf("uncongested bin %d got density %v (η must gate it off)", b, out[b])
+		}
+	}
+	// Rows without the rail stay zero everywhere.
+	for by := 0; by < 10; by++ {
+		if by == 5 {
+			continue
+		}
+		for bx := 0; bx < 10; bx++ {
+			if out[by*10+bx] != 0 {
+				t.Errorf("bin (%d,%d) off the rail got density", bx, by)
+			}
+		}
+	}
+}
+
+func TestDensityWeightGrowsWithCongestion(t *testing.T) {
+	g := testGrid()
+	rails := []netlist.PGRail{{
+		Seg:   geom.Segment{A: geom.Point{X: 0, Y: 55}, B: geom.Point{X: 100, Y: 55}},
+		Width: 2,
+	}}
+	mk := func(c float64) float64 {
+		cong := make([]float64, 100)
+		cong[5*10+2] = c
+		out := Density(rails, g, cong, c/200)
+		return out[5*10+2]
+	}
+	lo := mk(0.3)
+	hi := mk(1.2)
+	if hi <= lo {
+		t.Errorf("density did not grow with congestion: %v → %v", lo, hi)
+	}
+	if math.Abs(hi/lo-(1+1.2)/(1+0.3)) > 1e-9 {
+		t.Errorf("weight ratio %v, want %v (Eq. 14's 1+C_b)", hi/lo, (1+1.2)/(1+0.3))
+	}
+}
+
+func TestDensityPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bad congestion length not caught")
+		}
+	}()
+	Density(nil, testGrid(), make([]float64, 3), 0)
+}
+
+func TestStaticDensityCoversAllRails(t *testing.T) {
+	d := railDesign(t)
+	g := testGrid()
+	out := StaticDensity(d, g)
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatalf("static density empty")
+	}
+	// The short rail (excluded by selection) must contribute here.
+	b := 2*10 + 5 // bin containing (50, 20)... y=20 → by=2, x=50 → bx=5
+	if out[b] == 0 {
+		t.Errorf("static density ignored the short rail")
+	}
+}
+
+func TestDynamicChangesWithCongestionStaticDoesNot(t *testing.T) {
+	d := railDesign(t)
+	g := testGrid()
+	sel := SelectRails(d)
+
+	congA := make([]float64, 100)
+	congA[8*10+3] = 1.0 // bin under the y=80 rail
+	dynA := Density(sel, g, congA, 0.005)
+
+	congB := make([]float64, 100) // congestion cleared
+	dynB := Density(sel, g, congB, 0)
+
+	var sumA, sumB float64
+	for i := range dynA {
+		sumA += dynA[i]
+		sumB += dynB[i]
+	}
+	if sumA <= sumB {
+		t.Errorf("dynamic density did not respond to congestion: %v vs %v", sumA, sumB)
+	}
+	// Static is congestion-independent by construction.
+	s1 := StaticDensity(d, g)
+	s2 := StaticDensity(d, g)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("static density not deterministic")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package plot renders placements and congestion maps as SVG images using
+// only the standard library. It exists for inspection and debugging — the
+// pictures correspond to the paper's Fig. 1 (congestion heat map with local/
+// global classification) and Fig. 4 (macros, PG rails and selection).
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// Options controls rendering.
+type Options struct {
+	// WidthPx is the output image width in pixels (height follows the die
+	// aspect ratio). Default 800.
+	WidthPx int
+	// Congestion, when non-nil, is drawn as a heat underlay; it must have
+	// NX·NY row-major entries.
+	Congestion []float64
+	NX, NY     int
+	// DrawRails draws PG rails; Selected, when non-nil, restricts to the
+	// given rails (e.g. the pgrail selection).
+	DrawRails bool
+	Selected  []netlist.PGRail
+	// DrawCells draws movable cells (can be slow for huge designs).
+	DrawCells bool
+}
+
+// SVG writes an SVG rendering of the design to w.
+func SVG(w io.Writer, d *netlist.Design, opt Options) error {
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 800
+	}
+	bw := bufio.NewWriter(w)
+	scale := float64(opt.WidthPx) / d.Die.W()
+	hPx := int(math.Ceil(d.Die.H() * scale))
+	// SVG y grows downward; flip so die-y grows upward.
+	X := func(x float64) float64 { return (x - d.Die.Lo.X) * scale }
+	Y := func(y float64) float64 { return float64(hPx) - (y-d.Die.Lo.Y)*scale }
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.WidthPx, hPx, opt.WidthPx, hPx)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", opt.WidthPx, hPx)
+
+	// Congestion underlay.
+	if opt.Congestion != nil && opt.NX > 0 && opt.NY > 0 {
+		if len(opt.Congestion) != opt.NX*opt.NY {
+			return fmt.Errorf("plot: congestion map length %d != %d×%d", len(opt.Congestion), opt.NX, opt.NY)
+		}
+		maxC := 0.0
+		for _, c := range opt.Congestion {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if maxC > 0 {
+			cw := d.Die.W() / float64(opt.NX)
+			ch := d.Die.H() / float64(opt.NY)
+			for iy := 0; iy < opt.NY; iy++ {
+				for ix := 0; ix < opt.NX; ix++ {
+					c := opt.Congestion[iy*opt.NX+ix]
+					if c <= 0 {
+						continue
+					}
+					t := c / maxC
+					r, g, b := heat(t)
+					x0 := d.Die.Lo.X + float64(ix)*cw
+					y0 := d.Die.Lo.Y + float64(iy)*ch
+					fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" fill-opacity="0.85"/>`+"\n",
+						X(x0), Y(y0+ch), cw*scale, ch*scale, r, g, b)
+				}
+			}
+		}
+	}
+
+	// Macros.
+	for _, m := range d.MacroRects() {
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#6d7b8d" stroke="#2f3640" stroke-width="1"/>`+"\n",
+			X(m.Lo.X), Y(m.Hi.Y), m.W()*scale, m.H()*scale)
+	}
+
+	// Cells.
+	if opt.DrawCells {
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			if !c.Movable() {
+				continue
+			}
+			r := c.Rect()
+			fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#3b6ea5" fill-opacity="0.6"/>`+"\n",
+				X(r.Lo.X), Y(r.Hi.Y), r.W()*scale, r.H()*scale)
+		}
+	}
+
+	// Rails.
+	if opt.DrawRails {
+		rails := d.Rails
+		if opt.Selected != nil {
+			rails = opt.Selected
+		}
+		for _, rl := range rails {
+			fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#8e44ad" stroke-width="%.1f"/>`+"\n",
+				X(rl.Seg.A.X), Y(rl.Seg.A.Y), X(rl.Seg.B.X), Y(rl.Seg.B.Y),
+				math.Max(1, rl.Width*scale))
+		}
+	}
+
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// heat maps t ∈ [0,1] to a yellow→red ramp.
+func heat(t float64) (r, g, b int) {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return 255, int(220 * (1 - t)), 40
+}

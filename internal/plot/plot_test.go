@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/route"
+	"repro/internal/synth"
+)
+
+func TestSVGBasic(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, Options{DrawCells: true, DrawRails: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Macros drawn (tiny_hot has 2).
+	if strings.Count(out, "#6d7b8d") != 2 {
+		t.Errorf("expected 2 macro rects, got %d", strings.Count(out, "#6d7b8d"))
+	}
+}
+
+func TestSVGWithCongestion(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := route.NewGrid(d, 32)
+	res := route.NewRouter(d, g).Route()
+	var buf bytes.Buffer
+	err := SVG(&buf, d, Options{Congestion: res.Congestion, NX: g.NX, NY: g.NY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fill-opacity") {
+		t.Errorf("no heat cells drawn")
+	}
+}
+
+func TestSVGRejectsBadCongestionLength(t *testing.T) {
+	d := synth.MustGenerate("tiny_open")
+	var buf bytes.Buffer
+	err := SVG(&buf, d, Options{Congestion: make([]float64, 3), NX: 4, NY: 4})
+	if err == nil {
+		t.Errorf("bad congestion length accepted")
+	}
+}
+
+func TestSVGSelectedRailsOnly(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	var all, sel bytes.Buffer
+	if err := SVG(&all, d, Options{DrawRails: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SVG(&sel, d, Options{DrawRails: true, Selected: d.Rails[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sel.String(), "<line") >= strings.Count(all.String(), "<line") {
+		t.Errorf("selection did not reduce rail count")
+	}
+}
+
+func TestHeatRamp(t *testing.T) {
+	r0, g0, _ := heat(0)
+	r1, g1, _ := heat(1)
+	if r0 != 255 || r1 != 255 {
+		t.Errorf("red channel should stay saturated")
+	}
+	if g0 <= g1 {
+		t.Errorf("green channel should fall with heat: %d → %d", g0, g1)
+	}
+	// Clamping.
+	if ra, ga, ba := heat(-5); ra != 255 || ga != 220 || ba != 40 {
+		t.Errorf("heat(-5) not clamped: %d %d %d", ra, ga, ba)
+	}
+	if _, gb, _ := heat(7); gb != 0 {
+		t.Errorf("heat(7) not clamped")
+	}
+}

@@ -1,0 +1,204 @@
+// Package poisson solves the Neumann-boundary Poisson equation of ePlace
+// (paper Eq. 1) on a regular power-of-two grid using spectral (DCT-based)
+// methods:
+//
+//	∇·∇ψ = −ρ            in R
+//	n·∇ψ = 0             on ∂R
+//	∬ρ = ∬ψ = 0          (compatibility)
+//
+// The solver returns both the potential ψ and the field E = −∇ψ, which the
+// placer uses as the electrostatic force on cells. The same solver instance
+// serves the cell-density term D(x,y) and the routing-congestion term C(x,y)
+// (paper Sec. II-B takes ρ = Dmd/Cap on the G-cell grid).
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spectral"
+)
+
+// Solver is a reusable spectral Poisson solver on an NX×NY grid. It
+// preallocates all scratch space; Solve performs no allocation.
+type Solver struct {
+	nx, ny int
+	trigX  *spectral.Trig
+	trigY  *spectral.Trig
+
+	wx []float64 // frequencies π·u/nx
+	wy []float64 // frequencies π·v/ny
+
+	coef   []float64 // DCT-II coefficients of ρ, then scaled for ψ
+	coefEx []float64 // coefficients scaled for Ex
+	coefEy []float64 // coefficients scaled for Ey
+	rowBuf []float64 // length max(nx, ny)
+	rowBu2 []float64
+	tmpA   []float64 // nx*ny intermediates
+	tmpB   []float64
+	tmpC   []float64
+}
+
+// Grid holds the solver outputs. Index layout is row-major: cell (ix, iy) is
+// at iy*NX+ix.
+type Grid struct {
+	NX, NY int
+	Psi    []float64 // electric potential ψ
+	Ex     []float64 // field −∂ψ/∂x
+	Ey     []float64 // field −∂ψ/∂y
+}
+
+// NewSolver creates a solver for an nx×ny grid. Both dimensions must be
+// powers of two (the placer rounds its bin counts up accordingly).
+func NewSolver(nx, ny int) *Solver {
+	if !spectral.IsPow2(nx) || !spectral.IsPow2(ny) {
+		panic(fmt.Sprintf("poisson: grid %dx%d must have power-of-two dimensions", nx, ny))
+	}
+	s := &Solver{
+		nx:     nx,
+		ny:     ny,
+		trigX:  spectral.NewTrig(nx),
+		trigY:  spectral.NewTrig(ny),
+		wx:     make([]float64, nx),
+		wy:     make([]float64, ny),
+		coef:   make([]float64, nx*ny),
+		coefEx: make([]float64, nx*ny),
+		coefEy: make([]float64, nx*ny),
+		tmpA:   make([]float64, nx*ny),
+		tmpB:   make([]float64, nx*ny),
+		tmpC:   make([]float64, nx*ny),
+	}
+	n := nx
+	if ny > n {
+		n = ny
+	}
+	s.rowBuf = make([]float64, n)
+	s.rowBu2 = make([]float64, n)
+	for u := 0; u < nx; u++ {
+		s.wx[u] = math.Pi * float64(u) / float64(nx)
+	}
+	for v := 0; v < ny; v++ {
+		s.wy[v] = math.Pi * float64(v) / float64(ny)
+	}
+	return s
+}
+
+// NX returns the grid width.
+func (s *Solver) NX() int { return s.nx }
+
+// NY returns the grid height.
+func (s *Solver) NY() int { return s.ny }
+
+// NewGrid allocates an output grid matching the solver dimensions.
+func (s *Solver) NewGrid() *Grid {
+	return &Grid{
+		NX:  s.nx,
+		NY:  s.ny,
+		Psi: make([]float64, s.nx*s.ny),
+		Ex:  make([]float64, s.nx*s.ny),
+		Ey:  make([]float64, s.nx*s.ny),
+	}
+}
+
+// Solve computes ψ and E = −∇ψ for the charge density rho (length nx*ny,
+// row-major) into g. The DC component of rho is removed internally, enforcing
+// the compatibility condition; rho itself is not modified.
+func (s *Solver) Solve(rho []float64, g *Grid) {
+	nx, ny := s.nx, s.ny
+	if len(rho) != nx*ny {
+		panic("poisson: rho length mismatch")
+	}
+	if g.NX != nx || g.NY != ny {
+		panic("poisson: grid dimension mismatch")
+	}
+
+	// Forward 2-D DCT-II of rho: rows (x direction), then columns (y).
+	for iy := 0; iy < ny; iy++ {
+		s.trigX.AnalyzeCos(s.tmpA[iy*nx:(iy+1)*nx], rho[iy*nx:(iy+1)*nx])
+	}
+	for ix := 0; ix < nx; ix++ {
+		col := s.rowBuf[:ny]
+		for iy := 0; iy < ny; iy++ {
+			col[iy] = s.tmpA[iy*nx+ix]
+		}
+		s.trigY.AnalyzeCos(s.rowBu2[:ny], col)
+		for v := 0; v < ny; v++ {
+			s.coef[v*nx+ix] = s.rowBu2[v]
+		}
+	}
+
+	// Scale coefficients. The synthesis basis needs the DCT normalization
+	// c_u·c_v/(nx·ny) with c_0 = 1, c_{u>0} = 2, and ψ's spectral filter
+	// 1/(w_u²+w_v²). The (0,0) mode is dropped (compatibility condition).
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			i := v*nx + u
+			if u == 0 && v == 0 {
+				s.coef[i], s.coefEx[i], s.coefEy[i] = 0, 0, 0
+				continue
+			}
+			cu, cv := 2.0, 2.0
+			if u == 0 {
+				cu = 1
+			}
+			if v == 0 {
+				cv = 1
+			}
+			w2 := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
+			b := s.coef[i] * cu * cv / (float64(nx) * float64(ny) * w2)
+			s.coef[i] = b
+			s.coefEx[i] = b * s.wx[u]
+			s.coefEy[i] = b * s.wy[v]
+		}
+	}
+
+	// ψ: cosine synthesis in x then cosine synthesis in y.
+	// Ex = −∂ψ/∂x = Σ b·w_u·sin(w_u(x+½))·cos(w_v(y+½)): sine synth in x, cos in y.
+	// Ey symmetric.
+	for v := 0; v < ny; v++ {
+		s.trigX.SynthCosSin(nil, s.tmpA[v*nx:(v+1)*nx], s.coefEx[v*nx:(v+1)*nx])
+		s.trigX.SynthCosSin(s.tmpB[v*nx:(v+1)*nx], nil, s.coef[v*nx:(v+1)*nx])
+		s.trigX.SynthCosSin(s.tmpC[v*nx:(v+1)*nx], nil, s.coefEy[v*nx:(v+1)*nx])
+	}
+	// Now tmpA rows hold Ex's x-synthesis, tmpB rows ψ's, tmpC rows Ey's.
+	// Finish along y: ψ and Ex use cosine synthesis, Ey uses sine synthesis.
+	for ix := 0; ix < nx; ix++ {
+		col := s.rowBuf[:ny]
+		out := s.rowBu2[:ny]
+
+		for iy := 0; iy < ny; iy++ {
+			col[iy] = s.tmpB[iy*nx+ix]
+		}
+		s.trigY.SynthCosSin(out, nil, col)
+		for iy := 0; iy < ny; iy++ {
+			g.Psi[iy*nx+ix] = out[iy]
+		}
+
+		for iy := 0; iy < ny; iy++ {
+			col[iy] = s.tmpA[iy*nx+ix]
+		}
+		s.trigY.SynthCosSin(out, nil, col)
+		for iy := 0; iy < ny; iy++ {
+			g.Ex[iy*nx+ix] = out[iy]
+		}
+
+		for iy := 0; iy < ny; iy++ {
+			col[iy] = s.tmpC[iy*nx+ix]
+		}
+		s.trigY.SynthCosSin(nil, out, col)
+		for iy := 0; iy < ny; iy++ {
+			g.Ey[iy*nx+ix] = out[iy]
+		}
+	}
+}
+
+// Energy returns the total field energy ½·Σ ρ_i·ψ_i over the grid, the
+// discrete counterpart of the electrostatic penalty (paper Sec. II-A computes
+// it per cell; this grid form is used in tests and diagnostics).
+func Energy(rho []float64, g *Grid) float64 {
+	var e float64
+	for i, r := range rho {
+		e += r * g.Psi[i]
+	}
+	return e / 2
+}

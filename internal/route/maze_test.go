@@ -1,0 +1,102 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func TestMazeNoOpWhenUncongested(t *testing.T) {
+	d := synth.MustGenerate("tiny_open")
+	g := NewGrid(d, 32)
+	plain := NewRouter(d, g).Route()
+	if plain.OverflowCells != 0 {
+		t.Skip("tiny_open unexpectedly congested")
+	}
+	maze := NewRouter(d, g).RouteWithMaze(0)
+	if maze.WirelengthDBU != plain.WirelengthDBU || maze.Vias != plain.Vias {
+		t.Errorf("maze changed an uncongested routing: WL %v vs %v",
+			maze.WirelengthDBU, plain.WirelengthDBU)
+	}
+}
+
+func TestMazeReducesOverflowScore(t *testing.T) {
+	// A corridor bottleneck: many straight nets through a capacity-starved
+	// band; pattern routing has no alternative (straight runs only), maze
+	// can detour around.
+	b := netlist.NewBuilder("bottleneck", geom.NewRect(0, 0, 256, 256), 8, 1)
+	const k = 30
+	for i := 0; i < k; i++ {
+		a := b.AddCell("a", netlist.StdCell, 8, 120+float64(i%3)*4, 2, 8)
+		c := b.AddCell("b", netlist.StdCell, 248, 120+float64(i%3)*4, 2, 8)
+		n := b.AddNet("n", 1)
+		b.Connect(a, n, 0, 0)
+		b.Connect(c, n, 0, 0)
+	}
+	b.SetRouteCapScale(0.15)
+	d := b.MustBuild()
+	g := NewGrid(d, 32)
+
+	plain := NewRouter(d, g).Route()
+	if plain.OverflowCells == 0 {
+		t.Fatalf("test design not congested")
+	}
+	maze := NewRouter(d, g).RouteWithMaze(0)
+	if maze.OverflowTotal >= plain.OverflowTotal {
+		t.Errorf("maze did not reduce overflow: %v → %v", plain.OverflowTotal, maze.OverflowTotal)
+	}
+	// Detours may lengthen wires; they must never shorten below Manhattan.
+	if maze.WirelengthDBU < plain.WirelengthDBU {
+		t.Errorf("maze shortened total wirelength below pattern optimum: %v < %v",
+			maze.WirelengthDBU, plain.WirelengthDBU)
+	}
+}
+
+func TestMazeRespectsRerouteBudget(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	full := NewRouter(d, g).RouteWithMaze(0)
+	one := NewRouter(d, g).RouteWithMaze(1)
+	// With a budget of one reroute, the result must differ from the full
+	// maze pass on a congested design (or equal the plain result).
+	plain := NewRouter(d, g).Route()
+	if plain.OverflowCells == 0 {
+		t.Skip("tiny_hot not congested at this grid")
+	}
+	if one.OverflowTotal < full.OverflowTotal {
+		t.Errorf("budget-1 maze beat unlimited maze: %v < %v", one.OverflowTotal, full.OverflowTotal)
+	}
+}
+
+func TestMazeDeterministic(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	a := NewRouter(d, g).RouteWithMaze(0)
+	b2 := NewRouter(d, g).RouteWithMaze(0)
+	if a.WirelengthDBU != b2.WirelengthDBU || a.Vias != b2.Vias || a.OverflowTotal != b2.OverflowTotal {
+		t.Errorf("maze routing not deterministic")
+	}
+}
+
+func TestDijkstraStraightLine(t *testing.T) {
+	d := synth.MustGenerate("tiny_open")
+	g := NewGrid(d, 32)
+	r := NewRouter(d, g)
+	ms := &mazeState{
+		r:    r,
+		dist: make([]float64, g.NX*g.NY),
+		prev: make([]int32, g.NX*g.NY),
+	}
+	path := ms.dijkstra(segment{x1: 2, y1: 5, x2: 9, y2: 5})
+	if path == nil {
+		t.Fatalf("no path found")
+	}
+	if len(path) != 8 {
+		t.Errorf("straight path length %d, want 8 cells", len(path))
+	}
+	if path[0] != int32(5*g.NX+2) || path[len(path)-1] != int32(5*g.NX+9) {
+		t.Errorf("endpoints wrong")
+	}
+}

@@ -1,0 +1,357 @@
+package route
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/steiner"
+)
+
+// Router performs congestion-aware pattern global routing of a design on a
+// Grid. It decomposes each net into two-pin segments with a Prim MST,
+// enumerates L- and Z-shape candidates per segment, picks the cheapest under
+// a congestion + history cost, and repeats for a few rip-up-and-reroute
+// rounds. It is deterministic for a fixed design and placement.
+type Router struct {
+	d *netlist.Design
+	g *Grid
+
+	// ZSamples is the number of intermediate positions tried per Z family.
+	ZSamples int
+	// Rounds is the number of full routing rounds (1 initial + Rounds−1
+	// rip-up-and-reroute rounds with history).
+	Rounds int
+	// UseSteiner decomposes multi-pin nets with the iterated 1-Steiner RSMT
+	// heuristic instead of a plain MST, trading decomposition time for
+	// shorter trees (an ablation knob; the pattern router of [18] is
+	// MST-based).
+	UseSteiner bool
+	// ViaDemand is the demand charged to a G-cell per bend.
+	ViaDemand float64
+	// PinVias is the via count charged per pin for layer access.
+	PinVias int
+
+	hist   []float64 // accumulated overflow history per G-cell
+	dmdH   []float64 // current horizontal wire demand (2-D)
+	dmdV   []float64 // current vertical wire demand (2-D)
+	dmdVia []float64 // current via demand (2-D)
+	capTot []float64 // cached total capacity per G-cell
+}
+
+// NewRouter creates a router with the default knobs.
+func NewRouter(d *netlist.Design, g *Grid) *Router {
+	n := g.NX * g.NY
+	r := &Router{
+		d:         d,
+		g:         g,
+		ZSamples:  3,
+		Rounds:    2,
+		ViaDemand: 0.5,
+		PinVias:   2,
+		hist:      make([]float64, n),
+		dmdH:      make([]float64, n),
+		dmdV:      make([]float64, n),
+		dmdVia:    make([]float64, n),
+		capTot:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		r.capTot[i] = g.CapTotal(i)
+	}
+	return r
+}
+
+// segment is one two-pin connection in G-cell coordinates.
+type segment struct {
+	x1, y1, x2, y2 int
+	lenEst         int // Manhattan estimate for ordering
+}
+
+// Route routes every net from the current cell positions and returns the
+// demand and congestion maps.
+func (r *Router) Route() *Result {
+	segs := r.decompose()
+	// Short segments first: they have the fewest detour options.
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].lenEst < segs[j].lenEst })
+
+	n := r.g.NX * r.g.NY
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
+	var wl float64
+	var vias int
+	for round := 0; round < r.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			r.dmdH[i], r.dmdV[i], r.dmdVia[i] = 0, 0, 0
+		}
+		wl, vias = 0, 0
+		for _, s := range segs {
+			dw, dv := r.routeSegment(s)
+			wl += dw
+			vias += dv
+		}
+		if round < r.Rounds-1 {
+			// Accumulate overflow history for the next round.
+			for i := 0; i < n; i++ {
+				u := (r.dmdH[i] + r.dmdV[i] + r.dmdVia[i]) / r.capTot[i]
+				if u > 1 {
+					r.hist[i] += 2 * (u - 1)
+				}
+			}
+		}
+	}
+
+	// Pin-access vias.
+	vias += r.PinVias * len(r.d.Pins)
+
+	return r.assembleResult(wl, vias)
+}
+
+// decompose converts every net into MST two-pin segments in G-cell space.
+func (r *Router) decompose() []segment {
+	var segs []segment
+	for e := range r.d.Nets {
+		net := &r.d.Nets[e]
+		deg := net.Degree()
+		if deg < 2 {
+			continue
+		}
+		// Collect pin G-cells, deduplicated.
+		type gp struct{ x, y int }
+		pts := make([]gp, 0, deg)
+		seen := make(map[gp]bool, deg)
+		for _, pi := range net.Pins {
+			p := r.d.PinPos(pi)
+			cx, cy := r.g.CellAt(p.X, p.Y)
+			q := gp{cx, cy}
+			if !seen[q] {
+				seen[q] = true
+				pts = append(pts, q)
+			}
+		}
+		if len(pts) < 2 {
+			continue
+		}
+		if len(pts) == 2 {
+			segs = append(segs, newSegment(pts[0].x, pts[0].y, pts[1].x, pts[1].y))
+			continue
+		}
+		if r.UseSteiner {
+			spts := make([]steiner.Point, len(pts))
+			for i, p := range pts {
+				spts[i] = steiner.Point{X: p.x, Y: p.y}
+			}
+			nodes, edges, _ := steiner.Tree(spts)
+			for _, e := range edges {
+				a, b := nodes[e.A], nodes[e.B]
+				segs = append(segs, newSegment(a.X, a.Y, b.X, b.Y))
+			}
+			continue
+		}
+		// Prim MST on Manhattan distance.
+		inTree := make([]bool, len(pts))
+		dist := make([]int, len(pts))
+		parent := make([]int, len(pts))
+		for i := range dist {
+			dist[i] = math.MaxInt32
+			parent[i] = -1
+		}
+		dist[0] = 0
+		for iter := 0; iter < len(pts); iter++ {
+			best, bd := -1, math.MaxInt32
+			for i := range pts {
+				if !inTree[i] && dist[i] < bd {
+					best, bd = i, dist[i]
+				}
+			}
+			inTree[best] = true
+			if parent[best] >= 0 {
+				a, b := pts[parent[best]], pts[best]
+				segs = append(segs, newSegment(a.x, a.y, b.x, b.y))
+			}
+			for i := range pts {
+				if inTree[i] {
+					continue
+				}
+				d := abs(pts[i].x-pts[best].x) + abs(pts[i].y-pts[best].y)
+				if d < dist[i] {
+					dist[i] = d
+					parent[i] = best
+				}
+			}
+		}
+	}
+	return segs
+}
+
+func newSegment(x1, y1, x2, y2 int) segment {
+	return segment{x1, y1, x2, y2, abs(x1-x2) + abs(y1-y2)}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// cellCost is the congestion-aware cost of pushing one more track through
+// G-cell i: base distance 1 plus a soft overflow penalty plus RRR history.
+func (r *Router) cellCost(i int) float64 {
+	u := (r.dmdH[i] + r.dmdV[i] + r.dmdVia[i]) / r.capTot[i]
+	c := 1.0 + r.hist[i]
+	if u > 0.8 {
+		p := u - 0.8
+		c += 10*p + 25*p*p
+	}
+	return c
+}
+
+// runCost sums cellCost over an inclusive horizontal or vertical run.
+func (r *Router) runCost(x1, y1, x2, y2 int) float64 {
+	var c float64
+	if y1 == y2 {
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		for x := x1; x <= x2; x++ {
+			c += r.cellCost(y1*r.g.NX + x)
+		}
+	} else {
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		for y := y1; y <= y2; y++ {
+			c += r.cellCost(y*r.g.NX + x1)
+		}
+	}
+	return c
+}
+
+// addRun commits wire demand along an inclusive run.
+func (r *Router) addRun(x1, y1, x2, y2 int) {
+	if y1 == y2 {
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		for x := x1; x <= x2; x++ {
+			r.dmdH[y1*r.g.NX+x]++
+		}
+	} else {
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		for y := y1; y <= y2; y++ {
+			r.dmdV[y*r.g.NX+x1]++
+		}
+	}
+}
+
+// candidate describes one pattern: up to three runs and its bend G-cells.
+type candidate struct {
+	runs  [3][4]int // x1,y1,x2,y2; unused runs have negative x1
+	nRuns int
+	bends [2]int // bend cell indices; -1 when absent
+	nBend int
+}
+
+func (r *Router) addCandidateRun(c *candidate, x1, y1, x2, y2 int) {
+	c.runs[c.nRuns] = [4]int{x1, y1, x2, y2}
+	c.nRuns++
+}
+
+func (r *Router) addBend(c *candidate, x, y int) {
+	c.bends[c.nBend] = y*r.g.NX + x
+	c.nBend++
+}
+
+// enumerate generates the candidate patterns for a segment: straight runs
+// for aligned endpoints, both L-shapes, and ZSamples Z-shapes per family.
+func (r *Router) enumerate(s segment, out []candidate) []candidate {
+	out = out[:0]
+	if s.y1 == s.y2 || s.x1 == s.x2 {
+		var c candidate
+		r.addCandidateRun(&c, s.x1, s.y1, s.x2, s.y2)
+		return append(out, c)
+	}
+	// L-shapes.
+	{
+		var c candidate
+		r.addCandidateRun(&c, s.x1, s.y1, s.x2, s.y1) // horizontal first
+		r.addCandidateRun(&c, s.x2, s.y1, s.x2, s.y2)
+		r.addBend(&c, s.x2, s.y1)
+		out = append(out, c)
+	}
+	{
+		var c candidate
+		r.addCandidateRun(&c, s.x1, s.y1, s.x1, s.y2) // vertical first
+		r.addCandidateRun(&c, s.x1, s.y2, s.x2, s.y2)
+		r.addBend(&c, s.x1, s.y2)
+		out = append(out, c)
+	}
+	// Z-shapes: horizontal-vertical-horizontal with intermediate column xm,
+	// and vertical-horizontal-vertical with intermediate row ym.
+	dx := s.x2 - s.x1
+	dy := s.y2 - s.y1
+	for k := 1; k <= r.ZSamples; k++ {
+		frac := float64(k) / float64(r.ZSamples+1)
+		xm := s.x1 + int(math.Round(frac*float64(dx)))
+		if xm != s.x1 && xm != s.x2 {
+			var c candidate
+			r.addCandidateRun(&c, s.x1, s.y1, xm, s.y1)
+			r.addCandidateRun(&c, xm, s.y1, xm, s.y2)
+			r.addCandidateRun(&c, xm, s.y2, s.x2, s.y2)
+			r.addBend(&c, xm, s.y1)
+			r.addBend(&c, xm, s.y2)
+			out = append(out, c)
+		}
+		ym := s.y1 + int(math.Round(frac*float64(dy)))
+		if ym != s.y1 && ym != s.y2 {
+			var c candidate
+			r.addCandidateRun(&c, s.x1, s.y1, s.x1, ym)
+			r.addCandidateRun(&c, s.x1, ym, s.x2, ym)
+			r.addCandidateRun(&c, s.x2, ym, s.x2, s.y2)
+			r.addBend(&c, s.x1, ym)
+			r.addBend(&c, s.x2, ym)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// routeSegment picks the cheapest candidate for s, commits its demand, and
+// returns the routed wirelength in DBU and the via count added.
+func (r *Router) routeSegment(s segment) (float64, int) {
+	var buf [2 + 2*8]candidate
+	cands := r.enumerate(s, buf[:0])
+	bestIdx, bestCost := 0, math.Inf(1)
+	for i := range cands {
+		c := &cands[i]
+		cost := 0.0
+		for k := 0; k < c.nRuns; k++ {
+			run := c.runs[k]
+			cost += r.runCost(run[0], run[1], run[2], run[3])
+		}
+		// Bend cells are visited by two runs; subtract the double count and
+		// charge the via instead.
+		for k := 0; k < c.nBend; k++ {
+			cost -= r.cellCost(c.bends[k])
+			cost += 2 * r.ViaDemand
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestIdx = i
+		}
+	}
+	best := &cands[bestIdx]
+	var wl float64
+	for k := 0; k < best.nRuns; k++ {
+		run := best.runs[k]
+		r.addRun(run[0], run[1], run[2], run[3])
+		wl += float64(abs(run[2]-run[0]))*r.g.CellW + float64(abs(run[3]-run[1]))*r.g.CellH
+	}
+	for k := 0; k < best.nBend; k++ {
+		r.dmdVia[best.bends[k]] += r.ViaDemand
+	}
+	return wl, best.nBend
+}

@@ -1,0 +1,31 @@
+package route
+
+import "repro/internal/netlist"
+
+// RUDY computes the Rectangular Uniform wire DensitY congestion estimate
+// (Spindler & Johannes, DATE 2007) on the grid: each net spreads a demand of
+// HPWL/(bbox area) uniformly over its bounding box. The paper's Sec. I
+// criticizes RUDY for "treating all regions within the BB equally" — the
+// estimator is provided as the cheap baseline the differentiable congestion
+// term improves upon, and as a cross-check for the pattern router in tests.
+func RUDY(d *netlist.Design, g *Grid) []float64 {
+	out := make([]float64, g.NX*g.NY)
+	for e := range d.Nets {
+		if d.Nets[e].Degree() < 2 {
+			continue
+		}
+		bb := d.NetBBox(e)
+		// Degenerate boxes get one G-cell of extent.
+		w := maxFloat(bb.W(), g.CellW)
+		h := maxFloat(bb.H(), g.CellH)
+		demand := (bb.W() + bb.H()) / (w * h) // wire length per unit area
+		x0, y0 := g.CellAt(bb.Lo.X, bb.Lo.Y)
+		x1, y1 := g.CellAt(bb.Lo.X+w-1e-9, bb.Lo.Y+h-1e-9)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				out[cy*g.NX+cx] += demand * g.CellW * g.CellH
+			}
+		}
+	}
+	return out
+}

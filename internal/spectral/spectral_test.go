@@ -1,0 +1,290 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT computes the forward DFT directly, O(n^2), as the oracle.
+func naiveDFT(re, im []float64, sign float64) ([]float64, []float64) {
+	n := len(re)
+	or := make([]float64, n)
+	oi := make([]float64, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			or[k] += re[j]*c - im[j]*s
+			oi[k] += re[j]*s + im[j]*c
+		}
+	}
+	return or, oi
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 12, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for n, want := range cases {
+		if got := NextPow2(n); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		wantRe, wantIm := naiveDFT(re, im, -1)
+		f := NewFFT(n)
+		gotRe := append([]float64(nil), re...)
+		gotIm := append([]float64(nil), im...)
+		f.Forward(gotRe, gotIm)
+		for i := 0; i < n; i++ {
+			if math.Abs(gotRe[i]-wantRe[i]) > 1e-9 || math.Abs(gotIm[i]-wantIm[i]) > 1e-9 {
+				t.Fatalf("n=%d bin %d: got (%g,%g), want (%g,%g)", n, i, gotRe[i], gotIm[i], wantRe[i], wantIm[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	f := NewFFT(n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+	}
+	origRe := append([]float64(nil), re...)
+	origIm := append([]float64(nil), im...)
+	f.Forward(re, im)
+	f.Inverse(re, im)
+	for i := 0; i < n; i++ {
+		if math.Abs(re[i]/float64(n)-origRe[i]) > 1e-9 || math.Abs(im[i]/float64(n)-origIm[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	n := 32
+	f := NewFFT(n)
+	apply := func(x []float64) ([]float64, []float64) {
+		re := append([]float64(nil), x...)
+		im := make([]float64, n)
+		f.Forward(re, im)
+		return re, im
+	}
+	prop := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 10), math.Mod(b, 10)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			z[i] = a*x[i] + b*y[i]
+		}
+		xr, xi := apply(x)
+		yr, yi := apply(y)
+		zr, zi := apply(z)
+		for i := 0; i < n; i++ {
+			if math.Abs(zr[i]-(a*xr[i]+b*yr[i])) > 1e-7 || math.Abs(zi[i]-(a*xi[i]+b*yi[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	n := 64
+	f := NewFFT(n)
+	rng := rand.New(rand.NewSource(3))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	var timeE float64
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+		timeE += re[i]*re[i] + im[i]*im[i]
+	}
+	f.Forward(re, im)
+	var freqE float64
+	for i := range re {
+		freqE += re[i]*re[i] + im[i]*im[i]
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+		t.Errorf("Parseval violated: time %g freq/n %g", timeE, freqE/float64(n))
+	}
+}
+
+func TestNewFFTRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewFFT(12) did not panic")
+		}
+	}()
+	NewFFT(12)
+}
+
+// naiveAnalyzeCos is the O(n^2) oracle for the DCT-II used by the solver.
+func naiveAnalyzeCos(f []float64) []float64 {
+	n := len(f)
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		for x := 0; x < n; x++ {
+			out[u] += f[x] * math.Cos(math.Pi*float64(u)*(float64(x)+0.5)/float64(n))
+		}
+	}
+	return out
+}
+
+func naiveSynth(F []float64) (cosOut, sinOut []float64) {
+	n := len(F)
+	cosOut = make([]float64, n)
+	sinOut = make([]float64, n)
+	for x := 0; x < n; x++ {
+		for u := 0; u < n; u++ {
+			ang := math.Pi * float64(u) * (float64(x) + 0.5) / float64(n)
+			cosOut[x] += F[u] * math.Cos(ang)
+			sinOut[x] += F[u] * math.Sin(ang)
+		}
+	}
+	return
+}
+
+func TestAnalyzeCosMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{2, 4, 8, 32} {
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		want := naiveAnalyzeCos(f)
+		tr := NewTrig(n)
+		got := make([]float64, n)
+		tr.AnalyzeCos(got, f)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d coeff %d: got %g want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSynthCosSinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 4, 16, 64} {
+		F := make([]float64, n)
+		for i := range F {
+			F[i] = rng.NormFloat64()
+		}
+		wantC, wantS := naiveSynth(F)
+		tr := NewTrig(n)
+		gotC := make([]float64, n)
+		gotS := make([]float64, n)
+		tr.SynthCosSin(gotC, gotS, F)
+		for i := 0; i < n; i++ {
+			if math.Abs(gotC[i]-wantC[i]) > 1e-9 {
+				t.Fatalf("n=%d cos[%d]: got %g want %g", n, i, gotC[i], wantC[i])
+			}
+			if math.Abs(gotS[i]-wantS[i]) > 1e-9 {
+				t.Fatalf("n=%d sin[%d]: got %g want %g", n, i, gotS[i], wantS[i])
+			}
+		}
+	}
+}
+
+func TestAnalyzeSynthRoundTrip(t *testing.T) {
+	// DCT-II followed by properly scaled cosine synthesis reconstructs f.
+	rng := rand.New(rand.NewSource(6))
+	n := 64
+	tr := NewTrig(n)
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	F := make([]float64, n)
+	tr.AnalyzeCos(F, f)
+	// Scale: f[x] = (1/n)·(F[0] + 2·Σ_{u>0} F[u] cos(...)).
+	F[0] /= float64(n)
+	for u := 1; u < n; u++ {
+		F[u] *= 2 / float64(n)
+	}
+	got := make([]float64, n)
+	tr.SynthCosSin(got, nil, F)
+	for i := range got {
+		if math.Abs(got[i]-f[i]) > 1e-9 {
+			t.Fatalf("round trip mismatch at %d: got %g want %g", i, got[i], f[i])
+		}
+	}
+}
+
+func TestSynthNilOutputs(t *testing.T) {
+	tr := NewTrig(8)
+	F := make([]float64, 8)
+	F[1] = 1
+	// Must not panic with either output nil.
+	tr.SynthCosSin(nil, nil, F)
+	out := make([]float64, 8)
+	tr.SynthCosSin(out, nil, F)
+	tr.SynthCosSin(nil, out, F)
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	n := 1024
+	f := NewFFT(n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Forward(re, im)
+	}
+}
+
+func BenchmarkAnalyzeCos256(b *testing.B) {
+	n := 256
+	tr := NewTrig(n)
+	f := make([]float64, n)
+	out := make([]float64, n)
+	for i := range f {
+		f[i] = float64(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AnalyzeCos(out, f)
+	}
+}

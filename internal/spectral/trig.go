@@ -1,0 +1,99 @@
+package spectral
+
+import "math"
+
+// Trig provides half-sample cosine analysis and cosine/sine synthesis of a
+// fixed power-of-two length n, sharing one length-2n FFT plan. These are the
+// 1-D building blocks of the spectral Poisson solver:
+//
+//	AnalyzeCos:  F[u] = Σ_{x=0}^{n-1} f[x] · cos(π u (x+½) / n)        (DCT-II)
+//	SynthCosSin: c[x] = Σ_{u=0}^{n-1} F[u] · cos(π u (x+½) / n)        (DCT-III-like)
+//	             s[x] = Σ_{u=0}^{n-1} F[u] · sin(π u (x+½) / n)        (DST synthesis)
+//
+// The cos/sin pair is produced by a single complex FFT because both are the
+// real and imaginary parts of the same exponential sum — the placer needs
+// exactly this pairing (potential uses cos, field uses sin).
+type Trig struct {
+	n    int
+	fft  *FFT
+	re   []float64 // scratch, length 2n
+	im   []float64
+	phC  []float64 // cos(π u / 2n), u = 0..n-1 (analysis phase)
+	phS  []float64 // sin(π u / 2n)
+	phC2 []float64 // cos(π u / 2n) reused for synthesis phase
+}
+
+// NewTrig creates a plan for length n (a power of two).
+func NewTrig(n int) *Trig {
+	if !IsPow2(n) {
+		panic("spectral: Trig length must be a power of two")
+	}
+	t := &Trig{
+		n:   n,
+		fft: NewFFT(2 * n),
+		re:  make([]float64, 2*n),
+		im:  make([]float64, 2*n),
+		phC: make([]float64, n),
+		phS: make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		ang := math.Pi * float64(u) / float64(2*n)
+		t.phC[u] = math.Cos(ang)
+		t.phS[u] = math.Sin(ang)
+	}
+	t.phC2 = t.phC
+	return t
+}
+
+// Len returns the plan length.
+func (t *Trig) Len() int { return t.n }
+
+// AnalyzeCos writes the DCT-II of f into dst (both length n). dst and f may
+// alias.
+func (t *Trig) AnalyzeCos(dst, f []float64) {
+	n := t.n
+	if len(f) != n || len(dst) != n {
+		panic("spectral: AnalyzeCos length mismatch")
+	}
+	// Σ_x f[x] e^{-iπu(x+½)/n} = e^{-iπu/2n} · Σ_x f[x] e^{-2πi ux / 2n}:
+	// zero-pad f to length 2n, forward FFT, rotate by the half-sample phase.
+	copy(t.re[:n], f)
+	for i := n; i < 2*n; i++ {
+		t.re[i] = 0
+	}
+	for i := range t.im {
+		t.im[i] = 0
+	}
+	t.fft.Forward(t.re, t.im)
+	for u := 0; u < n; u++ {
+		// Re(e^{-iθ}·(re+i·im)) = re·cosθ + im·sinθ
+		dst[u] = t.re[u]*t.phC[u] + t.im[u]*t.phS[u]
+	}
+}
+
+// SynthCosSin evaluates both the cosine and sine synthesis of the coefficient
+// vector F at the n half-sample points, writing them to cosOut and sinOut.
+// Either output may be nil to skip it; outputs must not alias F.
+func (t *Trig) SynthCosSin(cosOut, sinOut, F []float64) {
+	n := t.n
+	if len(F) != n {
+		panic("spectral: SynthCosSin length mismatch")
+	}
+	// Σ_u F[u] e^{+iπu(x+½)/n} = Σ_u (F[u] e^{iπu/2n}) e^{2πi ux / 2n}:
+	// rotate coefficients by the half-sample phase, zero-pad to 2n, inverse FFT.
+	for u := 0; u < n; u++ {
+		t.re[u] = F[u] * t.phC2[u]
+		t.im[u] = F[u] * t.phS[u]
+	}
+	for i := n; i < 2*n; i++ {
+		t.re[i] = 0
+		t.im[i] = 0
+	}
+	t.fft.Inverse(t.re, t.im)
+	if cosOut != nil {
+		copy(cosOut, t.re[:n])
+	}
+	if sinOut != nil {
+		copy(sinOut, t.im[:n])
+	}
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if _, err := GeoMean(nil); err == nil {
+		t.Errorf("empty GeoMean accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Errorf("zero entry accepted")
+	}
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, %v", got, err)
+	}
+	// Identity: geomean of identical values is the value.
+	got, _ = GeoMean([]float64{7, 7, 7})
+	if math.Abs(got-7) > 1e-12 {
+		t.Errorf("GeoMean(7,7,7) = %v", got)
+	}
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated P50 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Errorf("empty percentile != 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Errorf("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(seed int64, p float64) bool {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		v := Percentile(xs, p)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return v >= sorted[0]-1e-9 && v <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(nil) != 0 {
+		t.Errorf("Max(nil) != 0")
+	}
+	if got := Max([]float64{-3, -1, -2}); got != -1 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Mean != 5.5 || s.Max != 10 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.P50 != 5.5 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	str := s.String()
+	for _, want := range []string{"n=10", "p50", "max"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestGeoMeanAMGMProperty(t *testing.T) {
+	// Geometric mean never exceeds arithmetic mean (AM–GM inequality).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(20))
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*100
+		}
+		gm, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return gm <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package steiner constructs rectilinear Steiner minimal tree (RSMT)
+// approximations for net decomposition in the global router. Two algorithms
+// are provided:
+//
+//   - MST: Prim's minimum spanning tree under Manhattan distance — the
+//     fallback for large nets;
+//   - Tree: the iterated 1-Steiner heuristic of Kahng and Robins, which
+//     repeatedly inserts the Hanan-grid point that shrinks the MST most.
+//     For the small nets that dominate placement netlists it recovers most
+//     of the RSMT wirelength advantage over a plain MST (up to ~12%).
+//
+// Points are in G-cell (or any Manhattan) coordinates. The returned edges
+// reference the input points by index; Steiner points get indices ≥ len(pts).
+package steiner
+
+import "sort"
+
+// Point is an integer grid location.
+type Point struct {
+	X, Y int
+}
+
+// Edge connects two point indices in the tree.
+type Edge struct {
+	A, B int
+}
+
+// maxHananPoints bounds the 1-Steiner candidate set; nets whose Hanan grid
+// is larger fall back to the plain MST.
+const maxHananPoints = 144
+
+// dist is the Manhattan distance.
+func dist(a, b Point) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MST returns Prim's minimum spanning tree edges over pts and the total
+// Manhattan length. Fewer than two points yield no edges.
+func MST(pts []Point) ([]Edge, int) {
+	n := len(pts)
+	if n < 2 {
+		return nil, 0
+	}
+	const inf = int(^uint(0) >> 1)
+	inTree := make([]bool, n)
+	best := make([]int, n)
+	parent := make([]int, n)
+	for i := range best {
+		best[i] = inf
+		parent[i] = -1
+	}
+	best[0] = 0
+	edges := make([]Edge, 0, n-1)
+	total := 0
+	for iter := 0; iter < n; iter++ {
+		u, bd := -1, inf
+		for i := 0; i < n; i++ {
+			if !inTree[i] && best[i] < bd {
+				u, bd = i, best[i]
+			}
+		}
+		inTree[u] = true
+		if parent[u] >= 0 {
+			edges = append(edges, Edge{parent[u], u})
+			total += bd
+		}
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if d := dist(pts[u], pts[i]); d < best[i] {
+				best[i] = d
+				parent[i] = u
+			}
+		}
+	}
+	return edges, total
+}
+
+// mstCost returns only the MST total length (no edge list), used in the
+// candidate evaluation inner loop.
+func mstCost(pts []Point) int {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	const inf = int(^uint(0) >> 1)
+	inTree := make([]bool, n)
+	best := make([]int, n)
+	for i := range best {
+		best[i] = inf
+	}
+	best[0] = 0
+	total := 0
+	for iter := 0; iter < n; iter++ {
+		u, bd := -1, inf
+		for i := 0; i < n; i++ {
+			if !inTree[i] && best[i] < bd {
+				u, bd = i, best[i]
+			}
+		}
+		inTree[u] = true
+		if iter > 0 {
+			total += bd
+		}
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if d := dist(pts[u], pts[i]); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	return total
+}
+
+// Tree returns an RSMT approximation over pts: tree edges (indices into the
+// returned point slice, whose first len(pts) entries are the inputs and the
+// rest are inserted Steiner points) and the total length.
+func Tree(pts []Point) ([]Point, []Edge, int) {
+	n := len(pts)
+	if n < 2 {
+		return pts, nil, 0
+	}
+	if n == 2 {
+		return pts, []Edge{{0, 1}}, dist(pts[0], pts[1])
+	}
+
+	// Hanan grid candidates: cross products of distinct x and y coordinates
+	// that are not already terminals.
+	xs := uniqueCoords(pts, func(p Point) int { return p.X })
+	ys := uniqueCoords(pts, func(p Point) int { return p.Y })
+	if len(xs)*len(ys) > maxHananPoints {
+		edges, total := MST(pts)
+		return pts, edges, total
+	}
+	occupied := make(map[Point]bool, n)
+	for _, p := range pts {
+		occupied[p] = true
+	}
+	var candidates []Point
+	for _, x := range xs {
+		for _, y := range ys {
+			q := Point{x, y}
+			if !occupied[q] {
+				candidates = append(candidates, q)
+			}
+		}
+	}
+
+	// Iterated 1-Steiner: greedily insert the candidate with the largest
+	// MST-cost reduction; drop Steiner points of degree ≤ 2 implicitly by
+	// only keeping insertions that strictly help.
+	nodes := append([]Point(nil), pts...)
+	cost := mstCost(nodes)
+	for len(candidates) > 0 {
+		bestGain, bestIdx := 0, -1
+		for ci, cand := range candidates {
+			trial := append(nodes, cand)
+			if g := cost - mstCost(trial); g > bestGain {
+				bestGain, bestIdx = g, ci
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		nodes = append(nodes, candidates[bestIdx])
+		cost -= bestGain
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+	}
+	edges, total := MST(nodes)
+	// Prune Steiner leaves: a Steiner point of degree 1 contributes nothing.
+	nodes, edges, total = pruneSteinerLeaves(nodes, edges, len(pts), total)
+	return nodes, edges, total
+}
+
+// pruneSteinerLeaves removes degree-1 Steiner points (and their edges)
+// repeatedly; terminals are never removed.
+func pruneSteinerLeaves(nodes []Point, edges []Edge, numTerminals, total int) ([]Point, []Edge, int) {
+	for {
+		deg := make([]int, len(nodes))
+		for _, e := range edges {
+			deg[e.A]++
+			deg[e.B]++
+		}
+		removed := false
+		for v := numTerminals; v < len(nodes); v++ {
+			if deg[v] != 1 {
+				continue
+			}
+			// Remove the single incident edge.
+			for i, e := range edges {
+				if e.A == v || e.B == v {
+					total -= dist(nodes[e.A], nodes[e.B])
+					edges = append(edges[:i], edges[i+1:]...)
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return nodes, edges, total
+		}
+	}
+}
+
+func uniqueCoords(pts []Point, f func(Point) int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range pts {
+		if !seen[f(p)] {
+			seen[f(p)] = true
+			out = append(out, f(p))
+		}
+	}
+	sort.Ints(out)
+	return out
+}

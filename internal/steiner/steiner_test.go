@@ -1,0 +1,184 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func treeLength(nodes []Point, edges []Edge) int {
+	total := 0
+	for _, e := range edges {
+		total += dist(nodes[e.A], nodes[e.B])
+	}
+	return total
+}
+
+// connected verifies the edges span all terminals.
+func connected(numNodes, numTerminals int, edges []Edge) bool {
+	parent := make([]int, numNodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(v int) int {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	for _, e := range edges {
+		parent[find(e.A)] = find(e.B)
+	}
+	root := find(0)
+	for v := 1; v < numTerminals; v++ {
+		if find(v) != root {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMSTBasics(t *testing.T) {
+	if edges, total := MST(nil); edges != nil || total != 0 {
+		t.Errorf("empty MST wrong")
+	}
+	if edges, total := MST([]Point{{0, 0}}); edges != nil || total != 0 {
+		t.Errorf("single-point MST wrong")
+	}
+	edges, total := MST([]Point{{0, 0}, {3, 4}})
+	if len(edges) != 1 || total != 7 {
+		t.Errorf("two-point MST: %v, %d", edges, total)
+	}
+	// Chain: MST of collinear points is the chain.
+	edges, total = MST([]Point{{0, 0}, {10, 0}, {5, 0}, {2, 0}})
+	if len(edges) != 3 || total != 10 {
+		t.Errorf("collinear MST: %d edges, length %d (want 3, 10)", len(edges), total)
+	}
+}
+
+func TestTreeTwoAndThreePoints(t *testing.T) {
+	_, edges, total := Tree([]Point{{0, 0}, {5, 5}})
+	if len(edges) != 1 || total != 10 {
+		t.Errorf("two-point tree: %v, %d", edges, total)
+	}
+	// Three corner points: RSMT uses the corner Steiner point; length is the
+	// half-perimeter of the bbox = 10+10 = 20, while the MST needs 30.
+	pts := []Point{{0, 0}, {10, 0}, {0, 10}}
+	_, mstLen := MST(pts)
+	if mstLen != 20 {
+		t.Fatalf("unexpected MST length %d", mstLen)
+	}
+	_, _, steinLen := Tree(pts)
+	if steinLen > mstLen {
+		t.Errorf("Steiner tree longer than MST: %d > %d", steinLen, mstLen)
+	}
+}
+
+func TestTreeCrossSavesWirelength(t *testing.T) {
+	// Four arms of a cross: the RSMT joins them at the center (length 40);
+	// the MST must chain around (length > 40... actually 3 edges of 20 = 60).
+	pts := []Point{{0, 10}, {20, 10}, {10, 0}, {10, 20}}
+	_, mstLen := MST(pts)
+	nodes, edges, steinLen := Tree(pts)
+	if steinLen >= mstLen {
+		t.Errorf("cross: Steiner %d not below MST %d", steinLen, mstLen)
+	}
+	if steinLen != 40 {
+		t.Errorf("cross RSMT length %d, want 40", steinLen)
+	}
+	if !connected(len(nodes), 4, edges) {
+		t.Errorf("tree does not span terminals")
+	}
+	// The center Steiner point must have been inserted.
+	found := false
+	for _, p := range nodes[4:] {
+		if p == (Point{10, 10}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("center Steiner point not inserted: %v", nodes[4:])
+	}
+}
+
+func TestTreeNeverWorseThanMST(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Intn(50), rng.Intn(50)}
+		}
+		_, mstLen := MST(pts)
+		nodes, edges, steinLen := Tree(pts)
+		if steinLen > mstLen {
+			return false
+		}
+		if treeLength(nodes, edges) != steinLen {
+			return false
+		}
+		return connected(len(nodes), n, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	pts := []Point{{3, 7}, {12, 1}, {5, 18}, {0, 4}, {9, 9}}
+	n1, e1, l1 := Tree(pts)
+	n2, e2, l2 := Tree(pts)
+	if l1 != l2 || len(n1) != len(n2) || len(e1) != len(e2) {
+		t.Fatalf("nondeterministic tree")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestTreeLargeNetFallsBackToMST(t *testing.T) {
+	// > maxHananPoints candidates: must fall back (no Steiner points).
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]Point, 20)
+	for i := range pts {
+		pts[i] = Point{rng.Intn(1000), rng.Intn(1000)}
+	}
+	nodes, edges, total := Tree(pts)
+	if len(nodes) != len(pts) {
+		t.Errorf("fallback inserted Steiner points")
+	}
+	_, mstLen := MST(pts)
+	if total != mstLen {
+		t.Errorf("fallback length %d != MST %d", total, mstLen)
+	}
+	if !connected(len(nodes), len(pts), edges) {
+		t.Errorf("fallback tree not spanning")
+	}
+}
+
+func TestDuplicateCoordinatesHandled(t *testing.T) {
+	// Duplicated x/y coordinates (shared rows/columns) are the common case.
+	pts := []Point{{0, 0}, {0, 10}, {10, 0}, {10, 10}}
+	nodes, edges, total := Tree(pts)
+	if total != 30 {
+		t.Errorf("square RSMT length %d, want 30", total)
+	}
+	if !connected(len(nodes), 4, edges) {
+		t.Errorf("not spanning")
+	}
+}
+
+func BenchmarkTree8Pins(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 8)
+	for i := range pts {
+		pts[i] = Point{rng.Intn(64), rng.Intn(64)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tree(pts)
+	}
+}

@@ -1,0 +1,136 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLSEUpperBoundsHPWL(t *testing.T) {
+	// LSE overestimates HPWL for any pin configuration (the dual of WA's
+	// underestimation).
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+		}
+		d := chainDesign(t, xs, ys)
+		m := NewLSE(d, 5)
+		if lse, hp := m.Evaluate(), d.HPWL(); lse < hp-1e-9 {
+			t.Errorf("trial %d: LSE %v below HPWL %v", trial, lse, hp)
+		}
+	}
+}
+
+func TestWAHPWLLSESandwich(t *testing.T) {
+	// WA ≤ HPWL ≤ LSE at the same γ.
+	d := chainDesign(t, []float64{0, 12, 37, 50}, []float64{3, -9, 14, 2})
+	hp := d.HPWL()
+	for _, g := range []float64{0.5, 2, 8} {
+		wa := New(d, g).Evaluate()
+		lse := NewLSE(d, g).Evaluate()
+		if !(wa <= hp+1e-9 && hp <= lse+1e-9) {
+			t.Errorf("γ=%v: sandwich violated: WA %v, HPWL %v, LSE %v", g, wa, hp, lse)
+		}
+	}
+}
+
+func TestLSEApproachesHPWLAsGammaShrinks(t *testing.T) {
+	d := chainDesign(t, []float64{0, 10, 25, 40}, []float64{0, 5, -8, 12})
+	hp := d.HPWL()
+	prevErr := math.Inf(1)
+	for _, g := range []float64{10, 3, 1, 0.3} {
+		err := math.Abs(NewLSE(d, g).Evaluate() - hp)
+		if err > prevErr+1e-9 {
+			t.Errorf("γ=%v: error %v did not shrink (prev %v)", g, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 0.05*hp {
+		t.Errorf("LSE at γ=0.3 still %v away from HPWL %v", prevErr, hp)
+	}
+}
+
+func TestLSEGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 5
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 50
+		ys[i] = rng.Float64() * 50
+	}
+	d := chainDesign(t, xs, ys)
+	m := NewLSE(d, 2.0)
+
+	grad := make([]float64, 2*len(d.Cells))
+	m.EvaluateWithGrad(grad)
+
+	const h = 1e-5
+	for ci := 0; ci < n; ci++ {
+		for ax := 0; ax < 2; ax++ {
+			move := func(delta float64) {
+				if ax == 0 {
+					d.Cells[ci].X += delta
+				} else {
+					d.Cells[ci].Y += delta
+				}
+			}
+			move(h)
+			fp := m.Evaluate()
+			move(-2 * h)
+			fm := m.Evaluate()
+			move(h)
+			want := (fp - fm) / (2 * h)
+			got := grad[2*ci+ax]
+			if math.Abs(got-want) > 1e-5*math.Max(1, math.Abs(want)) {
+				t.Errorf("cell %d axis %d: grad %v, finite-diff %v", ci, ax, got, want)
+			}
+		}
+	}
+}
+
+func TestLSEStabilityLargeCoordinates(t *testing.T) {
+	d := chainDesign(t, []float64{200000, 200040}, []float64{-90000, -90020})
+	m := NewLSE(d, 0.5)
+	v := m.Evaluate()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("LSE overflowed: %v", v)
+	}
+	if math.Abs(v-d.HPWL()) > 0.05*d.HPWL() {
+		t.Errorf("LSE %v far from HPWL %v at small γ", v, d.HPWL())
+	}
+}
+
+func TestLSESetGamma(t *testing.T) {
+	d := chainDesign(t, []float64{0, 10}, []float64{0, 0})
+	m := NewLSE(d, 1)
+	m.SetGamma(4)
+	if m.Gamma() != 4 {
+		t.Errorf("SetGamma failed")
+	}
+}
+
+func BenchmarkLSEEvaluateWithGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 6)
+	ys := make([]float64, 6)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+	}
+	d := chainDesign(b, xs, ys)
+	m := NewLSE(d, 3)
+	grad := make([]float64, 2*len(d.Cells))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.EvaluateWithGrad(grad)
+	}
+}

@@ -1,0 +1,245 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// chainDesign builds numCells cells on one net each consecutive pair.
+func chainDesign(t testing.TB, xs, ys []float64) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("chain", geom.NewRect(-1000, -1000, 1000, 1000), 8, 1)
+	for i := range xs {
+		b.AddCell("c", netlist.StdCell, xs[i], ys[i], 1, 8)
+	}
+	n := b.AddNet("n", 1)
+	for i := range xs {
+		b.Connect(i, n, 0, 0)
+	}
+	return b.MustBuild()
+}
+
+func TestWAApproachesHPWLAsGammaShrinks(t *testing.T) {
+	d := chainDesign(t, []float64{0, 10, 25, 40}, []float64{0, 5, -8, 12})
+	hpwl := d.HPWL()
+	var prevErr float64 = math.Inf(1)
+	for _, g := range []float64{10, 3, 1, 0.3} {
+		m := New(d, g)
+		wa := m.Evaluate()
+		err := math.Abs(wa - hpwl)
+		if err > prevErr+1e-9 {
+			t.Errorf("gamma %v: error %v did not shrink (prev %v)", g, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 0.05*hpwl {
+		t.Errorf("WA at gamma=0.3 still %v away from HPWL %v", prevErr, hpwl)
+	}
+}
+
+func TestWALowerBoundsHPWL(t *testing.T) {
+	// The WA model underestimates HPWL for any pin configuration.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+		}
+		d := chainDesign(t, xs, ys)
+		m := New(d, 5)
+		if wa, hp := m.Evaluate(), d.HPWL(); wa > hp+1e-9 {
+			t.Errorf("trial %d: WA %v exceeds HPWL %v", trial, wa, hp)
+		}
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 5
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 50
+		ys[i] = rng.Float64() * 50
+	}
+	d := chainDesign(t, xs, ys)
+	m := New(d, 2.0)
+
+	grad := make([]float64, 2*len(d.Cells))
+	m.EvaluateWithGrad(grad)
+
+	const h = 1e-5
+	for ci := 0; ci < n; ci++ {
+		for ax := 0; ax < 2; ax++ {
+			move := func(delta float64) {
+				if ax == 0 {
+					d.Cells[ci].X += delta
+				} else {
+					d.Cells[ci].Y += delta
+				}
+			}
+			move(h)
+			fp := m.Evaluate()
+			move(-2 * h)
+			fm := m.Evaluate()
+			move(h)
+			want := (fp - fm) / (2 * h)
+			got := grad[2*ci+ax]
+			if math.Abs(got-want) > 1e-5*math.Max(1, math.Abs(want)) {
+				t.Errorf("cell %d axis %d: grad %v, finite-diff %v", ci, ax, got, want)
+			}
+		}
+	}
+}
+
+func TestGradientAccumulates(t *testing.T) {
+	d := chainDesign(t, []float64{0, 10}, []float64{0, 0})
+	m := New(d, 1)
+	grad := make([]float64, 2*len(d.Cells))
+	m.EvaluateWithGrad(grad)
+	once := append([]float64(nil), grad...)
+	m.EvaluateWithGrad(grad)
+	for i := range grad {
+		if math.Abs(grad[i]-2*once[i]) > 1e-12 {
+			t.Fatalf("gradient not accumulated at %d", i)
+		}
+	}
+}
+
+func TestGradientSignsPullTogether(t *testing.T) {
+	// On a two-pin net, the WL gradient pulls the cells toward each other.
+	d := chainDesign(t, []float64{0, 10}, []float64{0, 0})
+	m := New(d, 1)
+	grad := make([]float64, 4)
+	m.EvaluateWithGrad(grad)
+	if grad[0] >= 0 { // left cell: decreasing objective means moving right → positive grad? No: gradient of WL wrt left x is negative (moving right reduces WL)
+		t.Errorf("left cell x-gradient %v, want negative", grad[0])
+	}
+	if grad[2] <= 0 {
+		t.Errorf("right cell x-gradient %v, want positive", grad[2])
+	}
+}
+
+func TestNetWeightScalesGradient(t *testing.T) {
+	mk := func(w float64) (*netlist.Design, []float64) {
+		b := netlist.NewBuilder("w", geom.NewRect(0, 0, 100, 100), 8, 1)
+		b.AddCell("a", netlist.StdCell, 10, 10, 1, 8)
+		b.AddCell("b", netlist.StdCell, 60, 40, 1, 8)
+		n := b.AddNet("n", w)
+		b.Connect(0, n, 0, 0)
+		b.Connect(1, n, 0, 0)
+		d := b.MustBuild()
+		g := make([]float64, 4)
+		New(d, 2).EvaluateWithGrad(g)
+		return d, g
+	}
+	d1, g1 := mk(1)
+	d3, g3 := mk(3)
+	wa1 := New(d1, 2).Evaluate()
+	wa3 := New(d3, 2).Evaluate()
+	if math.Abs(wa3-3*wa1) > 1e-9 {
+		t.Errorf("weighted WA %v != 3×%v", wa3, wa1)
+	}
+	for i := range g1 {
+		if math.Abs(g3[i]-3*g1[i]) > 1e-9 {
+			t.Errorf("weighted grad[%d] %v != 3×%v", i, g3[i], g1[i])
+		}
+	}
+}
+
+func TestStabilityLargeCoordinates(t *testing.T) {
+	// Shifted exponentials must survive coordinates ≫ γ.
+	d := chainDesign(t, []float64{100000, 100040}, []float64{-50000, -50020})
+	m := New(d, 0.5)
+	wa := m.Evaluate()
+	if math.IsNaN(wa) || math.IsInf(wa, 0) {
+		t.Fatalf("WA overflowed: %v", wa)
+	}
+	if math.Abs(wa-d.HPWL()) > 0.05*d.HPWL() {
+		t.Errorf("WA %v far from HPWL %v at small gamma", wa, d.HPWL())
+	}
+}
+
+func TestUpdateGammaSchedule(t *testing.T) {
+	d := chainDesign(t, []float64{0, 10}, []float64{0, 0})
+	m := New(d, 1)
+	m.UpdateGamma(2.0, 1.0) // overflow 1 → 10·base
+	if math.Abs(m.Gamma()-20) > 1e-9 {
+		t.Errorf("gamma at overflow 1 = %v, want 20", m.Gamma())
+	}
+	m.UpdateGamma(2.0, 0.1) // overflow 0.1 → base/10
+	if math.Abs(m.Gamma()-0.2) > 1e-9 {
+		t.Errorf("gamma at overflow 0.1 = %v, want 0.2", m.Gamma())
+	}
+	// Monotone: lower overflow → smaller gamma.
+	m.UpdateGamma(2.0, 0.5)
+	mid := m.Gamma()
+	if mid >= 20 || mid <= 0.2 {
+		t.Errorf("gamma at overflow 0.5 = %v, not between", mid)
+	}
+	m.SetGamma(7)
+	if m.Gamma() != 7 {
+		t.Errorf("SetGamma failed")
+	}
+}
+
+func TestSinglePinNetIgnored(t *testing.T) {
+	b := netlist.NewBuilder("s", geom.NewRect(0, 0, 10, 10), 8, 1)
+	b.AddCell("a", netlist.StdCell, 5, 5, 1, 8)
+	n := b.AddNet("n", 1)
+	b.Connect(0, n, 0, 0)
+	d := b.MustBuild()
+	m := New(d, 1)
+	if wa := m.Evaluate(); wa != 0 {
+		t.Errorf("single-pin net WA = %v, want 0", wa)
+	}
+}
+
+func TestGradL1MovableOnly(t *testing.T) {
+	b := netlist.NewBuilder("g", geom.NewRect(0, 0, 100, 100), 8, 1)
+	b.AddCell("a", netlist.StdCell, 10, 10, 1, 8)
+	b.AddCell("m", netlist.Macro, 60, 60, 10, 10)
+	n := b.AddNet("n", 1)
+	b.Connect(0, n, 0, 0)
+	b.Connect(1, n, 0, 0)
+	d := b.MustBuild()
+	grad := make([]float64, 4)
+	New(d, 2).EvaluateWithGrad(grad)
+	l1 := GradL1(d, grad)
+	want := math.Abs(grad[0]) + math.Abs(grad[1])
+	if math.Abs(l1-want) > 1e-12 {
+		t.Errorf("GradL1 = %v, want %v (movable part only)", l1, want)
+	}
+}
+
+func BenchmarkEvaluateWithGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	nb := netlist.NewBuilder("bench", geom.NewRect(0, 0, 1000, 1000), 8, 1)
+	for i := 0; i < 1000; i++ {
+		nb.AddCell("c", netlist.StdCell, rng.Float64()*1000, rng.Float64()*1000, 2, 8)
+	}
+	for e := 0; e < 1200; e++ {
+		n := nb.AddNet("n", 1)
+		deg := 2 + rng.Intn(4)
+		for k := 0; k < deg; k++ {
+			nb.Connect(rng.Intn(1000), n, 0, 0)
+		}
+	}
+	d := nb.MustBuild()
+	m := New(d, 5)
+	grad := make([]float64, 2*len(d.Cells))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.EvaluateWithGrad(grad)
+	}
+}

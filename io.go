@@ -1,0 +1,40 @@
+package nmplace
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/designio"
+)
+
+// WriteDesign serializes a design to w in the library's plain-text format
+// (see internal/designio for the grammar). The output is deterministic and
+// ReadDesign-compatible, so placements can be checkpointed and diffed.
+func WriteDesign(w io.Writer, d *Design) error { return designio.Write(w, d) }
+
+// ReadDesign parses a design written by WriteDesign (or hand-authored in the
+// same format) and validates its referential integrity.
+func ReadDesign(r io.Reader) (*Design, error) { return designio.Read(r) }
+
+// SaveDesign writes a design to the named file.
+func SaveDesign(path string, d *Design) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := designio.Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDesign reads a design from the named file.
+func LoadDesign(path string) (*Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return designio.Read(f)
+}

@@ -1,0 +1,152 @@
+// Package nmplace is a routability-driven VLSI global placement library — a
+// from-scratch Go reproduction of "Differentiable Net-Moving and Local
+// Congestion Mitigation for Routability-Driven Global Placement" (Li, Wu,
+// Liu, Li, Zhu — DAC 2025).
+//
+// The library implements the full placement flow of the paper's Fig. 2 on a
+// pure-Go electrostatic placement substrate:
+//
+//   - an ePlace-style spectral (FFT/DCT) Poisson solver driving both the
+//     cell-density force and the paper's differentiable congestion force;
+//   - a 3-D Z-shape pattern global router producing the demand/capacity and
+//     congestion maps (Eq. 3);
+//   - the paper's three techniques: net moving via virtual cells on two-pin
+//     nets (Sec. III-A, Algorithms 1–2), momentum-based cell inflation
+//     (Sec. III-B, Eq. 11–12), and dynamic pin-accessibility density around
+//     selected PG rails (Sec. III-C, Eq. 13–15);
+//   - Abacus legalization and detailed placement;
+//   - a routing-based evaluator reporting DRWL / #DRVias / #DRVs;
+//   - a deterministic synthetic benchmark generator reproducing the 20
+//     ISPD 2015 contest designs of the paper's Table I by name.
+//
+// # Quick start
+//
+//	d, _ := nmplace.GenerateBenchmark("fft_1")
+//	res, err := nmplace.Place(d, nmplace.Options{Mode: nmplace.ModeOurs})
+//	if err != nil { ... }
+//	fmt.Println(res.Metrics.DRVs)
+//
+// The three placer modes reproduce the paper's Table I columns: ModeXplace
+// (wirelength only), ModeXplaceRoute (the prior-art routability baseline)
+// and ModeOurs (the paper's framework). Table II's ablation is available
+// through Options.Tech.
+package nmplace
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Design is a placement instance: die, rows, cells, nets, pins and PG rails.
+type Design = netlist.Design
+
+// Cell is one placeable or fixed object of a Design.
+type Cell = netlist.Cell
+
+// Net is one hyperedge of the netlist.
+type Net = netlist.Net
+
+// Pin connects a cell to a net at a fixed offset from the cell center.
+type Pin = netlist.Pin
+
+// PGRail is an M2 power/ground rail segment.
+type PGRail = netlist.PGRail
+
+// Builder constructs designs programmatically; see NewBuilder.
+type Builder = netlist.Builder
+
+// Cell kind constants for Builder.AddCell.
+const (
+	StdCell = netlist.StdCell
+	Macro   = netlist.Macro
+	IOPad   = netlist.IOPad
+)
+
+// Mode selects the placer variant (the paper's Table I columns).
+type Mode = core.Mode
+
+// Placer modes.
+const (
+	// ModeXplace is pure wirelength-driven placement (no routability).
+	ModeXplace = core.ModeWirelength
+	// ModeXplaceRoute is the prior-art routability baseline: monotone cell
+	// inflation plus static PG-rail density pre-adjustment.
+	ModeXplaceRoute = core.ModeBaselineRoute
+	// ModeOurs is the paper's framework (momentum inflation, differentiable
+	// congestion with net moving, dynamic pin-accessibility density).
+	ModeOurs = core.ModeOurs
+)
+
+// Techniques toggles the paper's individual contributions inside ModeOurs
+// (the Table II ablation and the extra ablations of DESIGN.md).
+type Techniques = core.Techniques
+
+// Options configures a placement run; the zero value plus a Mode is a
+// sensible default. See core.Options for the full field list.
+type Options = core.Options
+
+// Result reports a finished run: runtimes, per-stage HPWL and the post-route
+// Metrics (DRWL, #DRVias, #DRVs).
+type Result = core.Result
+
+// Metrics is the post-route scorecard of one placement.
+type Metrics = eval.Metrics
+
+// AllTechniques enables MCI, DC and DPA — the full paper configuration.
+func AllTechniques() Techniques { return core.AllTechniques() }
+
+// Place runs the selected placer on d in place (cell positions are
+// overwritten) and returns the run report. The flow follows the paper's
+// Fig. 2: wirelength-driven global placement, the routability-driven loop,
+// legalization, detailed placement, and a final routing evaluation.
+func Place(d *Design, opt Options) (*Result, error) { return core.Place(d, opt) }
+
+// Evaluate routes d's current placement at high effort and returns the
+// DRWL/#DRVias/#DRVs scorecard without moving any cell.
+func Evaluate(d *Design, gridHint int) Metrics { return eval.Evaluate(d, gridHint) }
+
+// GenerateBenchmark builds one of the named synthetic ISPD-2015-like
+// benchmark designs (see BenchmarkNames; Table1Designs lists the paper's 20).
+func GenerateBenchmark(name string) (*Design, error) { return synth.Generate(name) }
+
+// BenchmarkNames lists every design the generator knows, sorted.
+func BenchmarkNames() []string { return synth.Names() }
+
+// Table1Designs lists the paper's 20 Table I designs in paper order.
+func Table1Designs() []string { return synth.Table1Designs() }
+
+// NewBuilder starts an empty design with the given name, die corners
+// (x0, y0, x1, y1), row height and site width. Use the Builder to add cells,
+// nets, pins and rails, then Build.
+func NewBuilder(name string, x0, y0, x1, y1, rowHeight, siteWidth float64) *Builder {
+	return netlist.NewBuilder(name, rect(x0, y0, x1, y1), rowHeight, siteWidth)
+}
+
+// RunTable1 places each named design with all three placers and returns the
+// Table I measurement rows; WriteTable renders them. A nil designs slice
+// runs the paper's full 20-design suite.
+func RunTable1(designs []string, gridHint int, log io.Writer) ([]core.Row, error) {
+	if designs == nil {
+		designs = synth.Table1Designs()
+	}
+	return core.RunTable1(designs, gridHint, log)
+}
+
+// RunTable2 runs the Table II ablation (baseline, MCI, MCI+DC, MCI+DC+DPA)
+// over the named designs. A nil designs slice runs the full suite.
+func RunTable2(designs []string, gridHint int, log io.Writer) ([]core.Row, error) {
+	if designs == nil {
+		designs = synth.Table1Designs()
+	}
+	return core.RunTable2(designs, gridHint, log)
+}
+
+// WriteTable renders measurement rows in the paper's table layout with
+// average ratios normalized to the reference mode label.
+func WriteTable(w io.Writer, rows []core.Row, modeOrder []string, reference string) {
+	core.WriteTable(w, rows, modeOrder, reference)
+}

@@ -1,0 +1,138 @@
+package nmplace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateBenchmarkAndCatalog(t *testing.T) {
+	if len(Table1Designs()) != 20 {
+		t.Fatalf("Table1Designs has %d entries, want 20", len(Table1Designs()))
+	}
+	names := BenchmarkNames()
+	if len(names) < 20 {
+		t.Fatalf("catalog too small: %d", len(names))
+	}
+	d, err := GenerateBenchmark("fft_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "fft_1" || len(d.Cells) == 0 {
+		t.Errorf("bad design: %s with %d cells", d.Name, len(d.Cells))
+	}
+	if _, err := GenerateBenchmark("definitely-not-a-design"); err == nil {
+		t.Errorf("unknown benchmark accepted")
+	}
+}
+
+func TestPublicPlaceFlow(t *testing.T) {
+	d, err := GenerateBenchmark("tiny_hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Place(d, Options{
+		Mode:              ModeOurs,
+		Tech:              AllTechniques(),
+		GridHint:          32,
+		MaxWLIters:        100,
+		MaxRouteIters:     4,
+		StepsPerRouteIter: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.DRVs < 0 || res.Metrics.DRWL <= 0 {
+		t.Errorf("bad metrics: %+v", res.Metrics)
+	}
+	// Evaluate must agree with the run's own final metrics.
+	m := Evaluate(d, 32)
+	if m.DRVs != res.Metrics.DRVs {
+		t.Errorf("Evaluate DRVs %d != Place metrics %d", m.DRVs, res.Metrics.DRVs)
+	}
+}
+
+func TestBuilderPublicAPI(t *testing.T) {
+	b := NewBuilder("custom", 0, 0, 100, 100, 8, 1)
+	c0 := b.AddCell("a", StdCell, 20, 20, 2, 8)
+	c1 := b.AddCell("b", StdCell, 60, 60, 2, 8)
+	b.AddCell("m", Macro, 80, 20, 10, 10)
+	n := b.AddNet("n", 1)
+	b.Connect(c0, n, 0, 0)
+	b.Connect(c1, n, 0, 0)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HPWL() != 80 {
+		t.Errorf("HPWL = %v, want 80", d.HPWL())
+	}
+}
+
+func TestCongestionMapPublic(t *testing.T) {
+	d, _ := GenerateBenchmark("tiny_hot")
+	cong, nx, ny := CongestionMap(d, 32)
+	if nx != 32 || ny != 32 || len(cong) != nx*ny {
+		t.Fatalf("bad map dims %dx%d len %d", nx, ny, len(cong))
+	}
+	for i, c := range cong {
+		if c < 0 {
+			t.Fatalf("negative congestion at %d", i)
+		}
+	}
+}
+
+func TestDecomposeCongestionPublic(t *testing.T) {
+	d, _ := GenerateBenchmark("tiny_hot")
+	classes, nx, ny := DecomposeCongestion(d, 32)
+	if len(classes) != nx*ny {
+		t.Fatalf("bad class map length")
+	}
+	for _, c := range classes {
+		if c != NotCongested && c != LocalCongestion && c != GlobalCongestion {
+			t.Fatalf("unknown class %d", c)
+		}
+	}
+}
+
+func TestSelectPGRailsPublic(t *testing.T) {
+	d, _ := GenerateBenchmark("matrix_mult_a")
+	sel := SelectPGRails(d)
+	if len(sel) == 0 {
+		t.Fatalf("no rails selected")
+	}
+	var selLen, totLen float64
+	for _, r := range sel {
+		selLen += r.Seg.Len()
+	}
+	for _, r := range d.Rails {
+		totLen += r.Seg.Len()
+	}
+	if selLen >= totLen {
+		t.Errorf("selection removed nothing")
+	}
+}
+
+func TestRunTablesPublic(t *testing.T) {
+	var log strings.Builder
+	rows, err := RunTable1([]string{"tiny_hot"}, 32, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(log.String(), "tiny_hot") {
+		t.Errorf("progress log empty")
+	}
+	var sb strings.Builder
+	WriteTable(&sb, rows, []string{"xplace", "xplace-route", "ours"}, "ours")
+	if !strings.Contains(sb.String(), "Avg.Ratio") {
+		t.Errorf("table output missing ratios")
+	}
+}
+
+func TestDefaultGridHint(t *testing.T) {
+	if DefaultGridHint(100) != 32 || DefaultGridHint(5000) != 64 || DefaultGridHint(50000) != 128 {
+		t.Errorf("DefaultGridHint thresholds wrong")
+	}
+}
