@@ -17,17 +17,61 @@ package nmplace
 // runs the full 20-design suite.
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/route"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // benchDesigns is the representative Table I subset used by the benchmarks:
 // one design per family spanning hot and calm routability regimes.
 var benchDesigns = []string{"fft_b", "des_perf_1", "pci_bridge32_a", "matrix_mult_b"}
+
+// TestWriteBenchBaseline regenerates BENCH_baseline.json: the telemetry
+// registry of one ModeOurs run over every benchDesigns entry, with the
+// per-design headline metrics added as gauges. The file is the committed
+// machine-readable reference; diff a fresh run against it to spot quality
+// or work-count regressions. Skipped unless WRITE_BENCH_BASELINE=1 (it
+// places four real designs, far slower than the unit suite).
+//
+//	WRITE_BENCH_BASELINE=1 go test -run TestWriteBenchBaseline .
+func TestWriteBenchBaseline(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_BASELINE") != "1" {
+		t.Skip("set WRITE_BENCH_BASELINE=1 to regenerate BENCH_baseline.json")
+	}
+	obs := telemetry.NewObserver(nil) // registry only; no event stream
+	for _, name := range benchDesigns {
+		d, err := synth.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := core.Options{Mode: core.ModeOurs, Tech: core.AllTechniques(), Observer: obs}
+		res, err := core.Place(d, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Per-design headline gauges alongside the shared pipeline counters.
+		obs.Gauge(fmt.Sprintf("bench.%s.drwl", name)).Set(res.Metrics.DRWL)
+		obs.Gauge(fmt.Sprintf("bench.%s.drvias", name)).Set(float64(res.Metrics.DRVias))
+		obs.Gauge(fmt.Sprintf("bench.%s.drvs", name)).Set(float64(res.Metrics.DRVs))
+		obs.Gauge(fmt.Sprintf("bench.%s.hpwl", name)).Set(res.HPWLFinal)
+		obs.Gauge(fmt.Sprintf("bench.%s.route_iters", name)).Set(float64(res.RouteIters))
+	}
+	f, err := os.Create("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	label := fmt.Sprintf("mode=ours designs=%v", benchDesigns)
+	if err := telemetry.WriteBaseline(f, label, obs.Metrics); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func placeOnce(b *testing.B, design string, mode core.Mode, tech core.Techniques) *core.Result {
 	b.Helper()

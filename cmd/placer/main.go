@@ -1,14 +1,30 @@
 // Command placer runs one placement mode on one named synthetic design and
 // prints the resulting metrics.
+//
+// Observability flags:
+//
+//	-trace out.jsonl   write the full telemetry event stream (spans,
+//	                   snapshots, logs, metrics) as JSONL; summarize it
+//	                   with `go run ./cmd/tracereport out.jsonl`. With
+//	                   `-trace -` the stream goes to stdout and the
+//	                   summary moves to stderr, so the output pipes
+//	                   cleanly into `tracereport -`
+//	-metrics           print the per-stage timing table and the metrics
+//	                   registry after the run
+//	-pprof addr        serve net/http/pprof at addr (e.g. localhost:6060)
+//	                   for live CPU/heap profiling of long runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -20,7 +36,19 @@ func main() {
 	dc := flag.Bool("dc", true, "differentiable congestion / net moving (ours mode)")
 	dpa := flag.Bool("dpa", true, "dynamic pin accessibility (ours mode)")
 	riters := flag.Int("riters", 0, "max routability iterations (0 = default)")
+	tracePath := flag.String("trace", "", "write a JSONL telemetry trace to this file (- for stdout)")
+	metrics := flag.Bool("metrics", false, "print stage timings and the metrics registry")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof at this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	d, err := synth.Generate(*design)
 	if err != nil {
@@ -43,16 +71,69 @@ func main() {
 	if *verbose {
 		opt.Log = os.Stderr
 	}
+
+	var obs *telemetry.Observer
+	var traceFile *os.File
+	out := os.Stdout // human-readable summary sink
+	switch {
+	case *tracePath == "-":
+		// Trace owns stdout; keep the JSONL stream clean by moving the
+		// summary to stderr so `placer -trace - | tracereport -` works.
+		obs = telemetry.NewObserver(os.Stdout)
+		out = os.Stderr
+	case *tracePath != "":
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		obs = telemetry.NewObserver(traceFile)
+	case *metrics:
+		obs = telemetry.NewObserver(nil) // aggregate in memory only
+	}
+	opt.Observer = obs
+
 	res, err := core.Place(d, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if obs != nil {
+		if err := obs.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		}
+	}
+
 	st := d.ComputeStats()
-	fmt.Printf("design=%s cells=%d nets=%d util=%.2f\n", d.Name, st.NumMovable, st.NumNets, st.Utilization)
-	fmt.Printf("mode=%s DRWL=%.0f vias=%d DRVs=%d HPWL=%.0f PT=%.2fs RT=%.2fs wlIters=%d routeIters=%d\n",
+	fmt.Fprintf(out, "design=%s cells=%d nets=%d util=%.2f\n", d.Name, st.NumMovable, st.NumNets, st.Utilization)
+	fmt.Fprintf(out, "mode=%s DRWL=%.0f vias=%d DRVs=%d HPWL=%.0f PT=%.2fs RT=%.2fs wlIters=%d routeIters=%d\n",
 		res.Mode, res.Metrics.DRWL, res.Metrics.DRVias, res.Metrics.DRVs, res.HPWLFinal,
 		res.PlaceTime.Seconds(), res.RouteTime.Seconds(), res.WLIters, res.RouteIters)
-	fmt.Printf("components: overflow=%.0f pinDens=%.0f pinAccess=%.0f maxUtil=%.2f\n",
+	fmt.Fprintf(out, "components: overflow=%.0f pinDens=%.0f pinAccess=%.0f maxUtil=%.2f\n",
 		res.Metrics.OverflowViol, res.Metrics.PinDensViol, res.Metrics.PinAccessViol, res.Metrics.MaxUtil)
+
+	if *metrics && obs != nil {
+		fmt.Fprintf(out, "\nStage timings\n")
+		for _, s := range res.StageTimings {
+			for i := 0; i < s.Depth; i++ {
+				fmt.Fprint(out, "  ")
+			}
+			fmt.Fprintf(out, "%-30s count=%-5d total=%v\n", s.Name, s.Count, s.Total)
+		}
+		fmt.Fprintf(out, "\nMetrics\n")
+		for _, m := range obs.Metrics.Snapshot() {
+			switch m.Kind {
+			case "histogram":
+				fmt.Fprintf(out, "%-34s %-9s n=%d mean=%g min=%g max=%g\n",
+					m.Name, m.Kind, m.Count, m.Value, m.Min, m.Max)
+			default:
+				fmt.Fprintf(out, "%-34s %-9s %g\n", m.Name, m.Kind, m.Value)
+			}
+		}
+	}
 }

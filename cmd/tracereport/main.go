@@ -1,0 +1,42 @@
+// Command tracereport summarizes a JSONL telemetry trace produced by
+// `placer -trace out.jsonl` (or any telemetry.Observer sink): a per-stage
+// timing table from the span tree, ASCII convergence sparklines for every
+// snapshot series (density overflow, overflow score, λ₁, λ₂, γ, inflation
+// ratios, …) and the final metrics dump.
+//
+// Usage:
+//
+//	go run ./cmd/tracereport out.jsonl
+//	go run ./cmd/placer -design fft_1 -trace - | go run ./cmd/tracereport -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "--help" {
+		fmt.Fprintln(os.Stderr, "usage: tracereport <trace.jsonl | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := telemetry.ReadTrace(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr.WriteReport(os.Stdout)
+}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/density"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/telemetry"
 	"repro/internal/wirelength"
 )
 
@@ -40,6 +41,10 @@ type objective struct {
 	lastOverflow float64
 	lastStats    congestion.Stats
 	lastWLGradL1 float64
+
+	// poissonSolves counts the spectral density solves (telemetry); a nil
+	// counter is a no-op, keeping the disabled path allocation-free.
+	poissonSolves *telemetry.Counter
 }
 
 func newObjective(d *netlist.Design, wl *wirelength.Model, dens *density.Model, cong *congestion.Model) *objective {
@@ -91,6 +96,7 @@ func (o *objective) Eval(x, grad []float64) float64 {
 	o.lastWLGradL1 = wirelength.GradL1(o.d, o.gWL)
 
 	o.dens.Compute()
+	o.poissonSolves.Inc() // one spectral solve per density computation
 	o.lastOverflow = o.dens.Overflow()
 	zero(o.gDens)
 	o.dens.AccumCellGrad(o.gDens, 1)

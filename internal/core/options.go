@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/telemetry"
 )
 
 // Mode selects which placer of Table I runs.
@@ -106,6 +107,14 @@ type Options struct {
 
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+
+	// Observer, when non-nil, receives the run's full telemetry: the
+	// hierarchical span trace, per-iteration snapshots, the log events
+	// (every Log line is also a trace event, so text logs and traces can
+	// never drift apart) and the metrics registry. The same Observer may
+	// be shared across several Place calls; the caller flushes it. A nil
+	// Observer disables all instrumentation at zero cost.
+	Observer *telemetry.Observer
 }
 
 // DefaultGridHint picks the bin/G-cell resolution for a design size; the
@@ -142,9 +151,32 @@ func (o *Options) setDefaults(numCells int) {
 	}
 }
 
+// logf emits one progress line to BOTH sinks from a single call site: the
+// plain-text Log writer and (as a deterministic "log" trace event) the
+// Observer. Messages must not interpolate wall-clock times — use timingf
+// for those so determinism-checked traces stay clean.
 func (o *Options) logf(format string, args ...any) {
+	if o.Log == nil && o.Observer == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	o.Observer.Log(msg)
 	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+		fmt.Fprintln(o.Log, msg)
+	}
+}
+
+// timingf is logf for messages carrying wall-clock content; the trace
+// event is kind "timing", which telemetry.StripTimings removes when
+// canonicalizing a trace for run-to-run comparison.
+func (o *Options) timingf(format string, args ...any) {
+	if o.Log == nil && o.Observer == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	o.Observer.Timing(msg)
+	if o.Log != nil {
+		fmt.Fprintln(o.Log, msg)
 	}
 }
 
@@ -166,7 +198,9 @@ type Result struct {
 	HPWLLegalized float64
 	HPWLFinal     float64
 
-	WLIters    int
+	WLIters int
+	// RouteIters counts router invocations of the routability loop; it
+	// always equals len(CongestionHistory).
 	RouteIters int
 	// FinalOverflow is the density overflow at the end of global placement.
 	FinalOverflow float64
@@ -174,4 +208,9 @@ type Result struct {
 	CongestionHistory []float64
 	// LegalizeDisp is the total legalization displacement.
 	LegalizeDisp float64
+
+	// StageTimings breaks the run down by pipeline stage (span name,
+	// count, total duration) in first-seen order, covering both PlaceTime
+	// and RouteTime spans. Populated only when Options.Observer is set.
+	StageTimings []telemetry.StageTiming
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/pgrail"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 	"repro/internal/wirelength"
 )
 
@@ -28,18 +29,45 @@ const lambda1RouteGrowth = 1.02
 
 // Place runs the selected placer on the design IN PLACE (cell positions are
 // overwritten) and returns the run report including post-route metrics.
+//
+// Telemetry (Options.Observer) records the run as a span tree:
+//
+//	place
+//	  setup
+//	  phase1_wirelength                  (one "wl_iter" snapshot per step)
+//	  phase2_routability
+//	    route_iter ×N                    (one "route_iter" snapshot each)
+//	      route > route.decompose, route.round ×R
+//	      inflate · pg_density · congestion_update · nesterov
+//	  legalize > legalize.sort, legalize.abacus
+//	  detailed > detailed.pass ×P
+//	eval
+//	  route.decompose, route.round ×4, eval.score
+//
+// The "place" span closes exactly where Result.PlaceTime is measured and
+// "eval" where Result.RouteTime is, so the trace accounts for the full
+// reported runtime.
 func Place(d *netlist.Design, opt Options) (*Result, error) {
 	opt.setDefaults(len(d.Cells))
+	obs := opt.Observer
+	var tr *telemetry.Tracer
+	if obs != nil {
+		tr = obs.Tracer
+	}
 	res := &Result{Mode: opt.Mode}
 	start := time.Now()
+	root := obs.StartSpan("place")
 
 	// ---- Setup ----
+	sp := obs.StartSpan("setup")
 	spreadInitial(d)
 	dens := density.New(d, opt.GridHint)
 	gamma0 := dens.BinW() * 0.5
 	wl := wirelength.New(d, gamma0*10)
 	grid := route.NewGrid(d, opt.GridHint)
 	if grid.NX != dens.NX || grid.NY != dens.NY {
+		sp.End()
+		root.End()
 		return nil, fmt.Errorf("core: bin grid %dx%d and G-cell grid %dx%d differ",
 			dens.NX, dens.NY, grid.NX, grid.NY)
 	}
@@ -61,15 +89,38 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	optm := nesterov.New(x, dens.BinW()*0.1)
 	optm.StepMax = dens.BinW() * 4
 
+	if obs != nil {
+		obs.Gauge("design.cells").Set(float64(len(d.Cells)))
+		obs.Gauge("design.nets").Set(float64(len(d.Nets)))
+		obs.Gauge("design.grid").Set(float64(dens.NX))
+		obj.poissonSolves = obs.Counter("poisson.solves")
+		evals := obs.Counter("objective.evals")
+		stepHist := obs.Histogram("nesterov.step_size")
+		optm.OnStep = func(_ int, _, step float64) {
+			evals.Inc()
+			stepHist.Observe(step)
+		}
+	}
+	sp.End()
+
 	// ---- Phase 1: wirelength-driven global placement (Xplace) ----
+	p1 := obs.StartSpan("phase1_wirelength")
 	opt.logf("phase 1: wirelength-driven placement (grid %dx%d, %d fillers)",
 		dens.NX, dens.NY, dens.NumFillers())
 	for it := 0; it < opt.MaxWLIters; it++ {
 		obj.useCong = false
-		_, _ = optm.Step(obj)
+		_, step := optm.Step(obj)
 		obj.lambda1 *= lambda1Growth
 		wl.UpdateGamma(gamma0, clamp01(obj.lastOverflow))
 		res.WLIters++
+		if obs != nil {
+			obs.Snapshot("wl_iter", it,
+				telemetry.F("wl", obj.lastWL),
+				telemetry.F("dens_overflow", obj.lastOverflow),
+				telemetry.F("lambda1", obj.lambda1),
+				telemetry.F("gamma", wl.Gamma()),
+				telemetry.F("step", step))
+		}
 		if obj.lastOverflow < opt.WLOverflowStop && it > 20 {
 			break
 		}
@@ -78,12 +129,17 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	d.ClampToDie()
 	dens.ClampFillers()
 	res.FinalOverflow = obj.lastOverflow
+	p1.End()
 	opt.logf("phase 1 done: %d iters, overflow %.3f, HPWL %.0f",
 		res.WLIters, obj.lastOverflow, d.HPWL())
 
 	// ---- Phase 2: routability-driven placement ----
 	if opt.Mode != ModeWirelength {
-		if err := routabilityLoop(d, opt, res, dens, grid, cong, obj, optm); err != nil {
+		p2 := obs.StartSpan("phase2_routability")
+		err := routabilityLoop(d, opt, res, dens, grid, cong, obj, optm)
+		p2.End()
+		if err != nil {
+			root.End()
 			return nil, err
 		}
 	}
@@ -92,8 +148,13 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 
 	// ---- Legalization ----
 	if !opt.SkipLegalize {
-		disp, _, err := legalize.New(d).Run()
+		sp = obs.StartSpan("legalize")
+		lg := legalize.New(d)
+		lg.Trace = tr
+		disp, _, err := lg.Run()
+		sp.End()
 		if err != nil {
+			root.End()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		res.LegalizeDisp = disp
@@ -101,21 +162,39 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 		opt.logf("legalized: total displacement %.0f, HPWL %.0f", disp, res.HPWLLegalized)
 
 		if !opt.SkipDetailed {
-			dp := detailed.Refine(d, detailed.Options{Passes: 2})
+			sp = obs.StartSpan("detailed")
+			dp := detailed.Refine(d, detailed.Options{Passes: 2, Trace: tr})
+			sp.End()
 			opt.logf("detailed placement: %d shifts, %d swaps, HPWL %.0f → %.0f",
 				dp.Shifts, dp.Swaps, dp.HPWLBefore, dp.HPWLAfter)
 		}
 	}
 	res.HPWLFinal = d.HPWL()
+	root.End()
 	res.PlaceTime = time.Since(start)
 
 	// ---- Final routing evaluation (the Innovus stand-in) ----
 	rStart := time.Now()
-	res.Metrics = eval.Evaluate(d, opt.GridHint)
+	esp := obs.StartSpan("eval")
+	res.Metrics = eval.EvaluateTraced(d, opt.GridHint, tr)
+	esp.End()
 	res.RouteTime = time.Since(rStart)
-	opt.logf("final: DRWL %.0f, vias %d, DRVs %d (PT %.2fs, RT %.2fs)",
-		res.Metrics.DRWL, res.Metrics.DRVias, res.Metrics.DRVs,
+	opt.logf("final: DRWL %.0f, vias %d, DRVs %d",
+		res.Metrics.DRWL, res.Metrics.DRVias, res.Metrics.DRVs)
+	opt.timingf("timing: PT %.2fs, RT %.2fs",
 		res.PlaceTime.Seconds(), res.RouteTime.Seconds())
+
+	if obs != nil {
+		obs.Gauge("place.wl_iters").Set(float64(res.WLIters))
+		obs.Gauge("place.route_iters").Set(float64(res.RouteIters))
+		obs.Gauge("place.final_overflow").Set(res.FinalOverflow)
+		obs.Gauge("place.hpwl_final").Set(res.HPWLFinal)
+		obs.Gauge("place.legalize_disp").Set(res.LegalizeDisp)
+		obs.Gauge("eval.drwl").Set(res.Metrics.DRWL)
+		obs.Gauge("eval.drvias").Set(float64(res.Metrics.DRVias))
+		obs.Gauge("eval.drvs").Set(float64(res.Metrics.DRVs))
+		res.StageTimings = obs.Tracer.StageTimings()
+	}
 	return res, nil
 }
 
@@ -124,6 +203,20 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 	dens *density.Model, grid *route.Grid, cong *congestion.Model,
 	obj *objective, optm *nesterov.Optimizer) error {
+
+	obs := opt.Observer
+	var tr *telemetry.Tracer
+	if obs != nil {
+		tr = obs.Tracer
+	}
+	// Nil-safe metric handles: with obs == nil these are nil and every
+	// update below is a no-op branch.
+	routeCalls := obs.Counter("route.calls")
+	ripupRounds := obs.Counter("route.ripup_rounds")
+	routeSegs := obs.Counter("route.segments")
+	congUpdates := obs.Counter("congestion.updates")
+	nesterovResets := obs.Counter("nesterov.resets")
+	poissonSolves := obs.Counter("poisson.solves")
 
 	// Inflation scheme per mode / ablation.
 	var inf inflation.Inflator
@@ -175,16 +268,41 @@ func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 	var bestX []float64 // placement with the lowest weighted congestion
 
 	for it := 0; it < opt.MaxRouteIters; it++ {
+		itSp := obs.StartSpan("route_iter")
 		// Route from the current positions.
 		obj.scatter(optm.U())
-		rres := route.NewRouter(d, grid).Route()
+		sp := obs.StartSpan("route")
+		rtr := route.NewRouter(d, grid)
+		rtr.Trace = tr
+		rres := rtr.Route()
+		sp.End()
+		routeCalls.Inc()
+		ripupRounds.Add(int64(rres.RoundsRun))
+		routeSegs.Add(int64(rres.Segments))
 		// Track the same superlinear overflow shape the post-route DRV
 		// oracle scores, so "C(x,y) no longer decreases" and the final
 		// evaluation agree on what an improvement is.
 		wc := overflowScore(rres)
 		res.CongestionHistory = append(res.CongestionHistory, wc)
+		// Count the router call NOW so RouteIters == len(CongestionHistory)
+		// even when one of the breaks below ends the loop.
+		res.RouteIters++
 		opt.logf("route iter %d: overflow score %.1f, max util %.2f, overflow cells %d",
 			it, wc, rres.MaxUtil, rres.OverflowCells)
+		if obs != nil {
+			inflMean, inflMax := inflationStats(inf.Ratios())
+			obs.Snapshot("route_iter", it,
+				telemetry.F("hpwl", d.HPWL()),
+				telemetry.F("overflow_score", wc),
+				telemetry.F("max_util", rres.MaxUtil),
+				telemetry.F("overflow_cells", float64(rres.OverflowCells)),
+				telemetry.F("dens_overflow", obj.lastOverflow),
+				telemetry.F("lambda1", obj.lambda1),
+				telemetry.F("lambda2", obj.lambda2),
+				telemetry.F("gamma", obj.wl.Gamma()),
+				telemetry.F("infl_mean", inflMean),
+				telemetry.F("infl_max", inflMax))
+		}
 
 		// Stop when C(x,y) no longer decreases (Fig. 2); remember the best
 		// placement seen so a late degradation cannot leak into the result.
@@ -196,28 +314,37 @@ func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 			stall++
 			if stall >= opt.CongestionPatience {
 				opt.logf("route loop: congestion stalled after %d iters", it+1)
+				itSp.End()
 				break
 			}
 		}
 		if rres.OverflowCells == 0 {
 			opt.logf("route loop: no congestion left after %d iters", it+1)
+			itSp.End()
 			break
 		}
-		res.RouteIters++
 
 		// Momentum (or baseline) cell inflation.
+		sp = obs.StartSpan("inflate")
 		cellCongestion(d, rres.CongestionAt, congAt)
 		inf.Update(congAt, rres.AvgCongestion())
 		dens.SetInflations(inf.Ratios())
+		sp.End()
 
 		// Dynamic PG density (Eq. 13–15).
 		if dynamicPG {
+			sp = obs.StartSpan("pg_density")
 			dens.SetPGDensity(pgrail.Density(selected, bins, rres.Congestion, rres.AvgCongestion()))
+			sp.End()
 		}
 
 		// Differentiable congestion term.
 		if useCongTerm {
+			sp = obs.StartSpan("congestion_update")
 			cong.Update(rres)
+			sp.End()
+			congUpdates.Inc()
+			poissonSolves.Inc() // the congestion potential is one Poisson solve
 		}
 
 		// Nesterov steps on the updated objective. The problem changed
@@ -226,15 +353,19 @@ func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 		// above the target — compounding it unconditionally would let the
 		// density term drown the wirelength and congestion terms over a long
 		// routability loop.
+		sp = obs.StartSpan("nesterov")
 		obj.useCong = useCongTerm
 		optm.Reset(optm.U())
+		nesterovResets.Inc()
 		for s := 0; s < opt.StepsPerRouteIter; s++ {
 			optm.Step(obj)
 			if obj.lastOverflow > opt.WLOverflowStop {
 				obj.lambda1 *= lambda1RouteGrowth
 			}
 		}
+		sp.End()
 		res.FinalOverflow = obj.lastOverflow
+		itSp.End()
 	}
 	if bestX != nil {
 		obj.scatter(bestX)
@@ -244,6 +375,21 @@ func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 	d.ClampToDie()
 	dens.ClampFillers()
 	return nil
+}
+
+// inflationStats summarizes the current inflation ratios for snapshots.
+func inflationStats(ratios []float64) (mean, max float64) {
+	if len(ratios) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+		if r > max {
+			max = r
+		}
+	}
+	return sum / float64(len(ratios)), max
 }
 
 // overflowScore sums G-cell overflow with the same superlinear exponent the

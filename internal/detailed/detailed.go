@@ -18,12 +18,15 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/telemetry"
 )
 
 // Options configures Refine.
 type Options struct {
 	// Passes is the number of shift+swap sweeps (default 2).
 	Passes int
+	// Trace, when non-nil, receives one span per refinement pass.
+	Trace *telemetry.Tracer
 }
 
 // Result reports what Refine did.
@@ -61,6 +64,7 @@ func Refine(d *netlist.Design, opt Options) Result {
 	}
 	res := Result{HPWLBefore: d.HPWL()}
 	for p := 0; p < passes; p++ {
+		sp := opt.Trace.Start("detailed.pass")
 		rows := rowOf(d)
 		keys := make([]int, 0, len(rows))
 		for r := range rows {
@@ -71,6 +75,7 @@ func Refine(d *netlist.Design, opt Options) Result {
 			res.Shifts += shiftRow(d, rows[r])
 			res.Swaps += swapRow(d, rows[r])
 		}
+		sp.End()
 	}
 	res.HPWLAfter = d.HPWL()
 	return res

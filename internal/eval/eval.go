@@ -23,6 +23,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/pgrail"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // Weights of the three DRV components; shared by every evaluation so that
@@ -67,11 +68,22 @@ type Metrics struct {
 // Evaluate routes the design at high effort and derives the metrics. The
 // gridHint chooses the G-cell resolution (power-of-two rounded).
 func Evaluate(d *netlist.Design, gridHint int) Metrics {
+	return EvaluateTraced(d, gridHint, nil)
+}
+
+// EvaluateTraced is Evaluate with telemetry: the high-effort routing and
+// the scoring pass are recorded as child spans of the caller's current
+// span (a nil tracer disables tracing).
+func EvaluateTraced(d *netlist.Design, gridHint int, tr *telemetry.Tracer) Metrics {
 	g := route.NewGrid(d, gridHint)
 	r := route.NewRouter(d, g)
 	r.Rounds = 4 // detailed-routing effort
+	r.Trace = tr
 	res := r.Route()
-	return Score(d, res)
+	sp := tr.Start("eval.score")
+	m := Score(d, res)
+	sp.End()
+	return m
 }
 
 // Score derives the metrics from an existing routing result (exposed so the

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/telemetry"
 )
 
 // segment is a free interval [x0, x1) of one row.
@@ -45,6 +46,9 @@ type row struct {
 type Legalizer struct {
 	// MaxRowSearch bounds how many rows above/below the ideal row are tried.
 	MaxRowSearch int
+	// Trace, when non-nil, receives spans for the sort and Abacus scan
+	// phases.
+	Trace *telemetry.Tracer
 
 	d    *netlist.Design
 	rows []row
@@ -99,6 +103,7 @@ func New(d *netlist.Design) *Legalizer {
 // cell cannot be placed anywhere (die over-full).
 func (l *Legalizer) Run() (totalDisp, maxDisp float64, err error) {
 	d := l.d
+	sp := l.Trace.Start("legalize.sort")
 	order := d.MovableIndices()
 	sort.SliceStable(order, func(a, b int) bool {
 		ca, cb := &d.Cells[order[a]], &d.Cells[order[b]]
@@ -107,7 +112,10 @@ func (l *Legalizer) Run() (totalDisp, maxDisp float64, err error) {
 		}
 		return order[a] < order[b]
 	})
+	sp.End()
 
+	sp = l.Trace.Start("legalize.abacus")
+	defer sp.End()
 	for _, ci := range order {
 		c := &d.Cells[ci]
 		bestCost := math.Inf(1)

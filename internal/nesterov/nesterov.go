@@ -23,6 +23,15 @@ type Optimizer struct {
 	// StepMin and StepMax clamp the Lipschitz step estimate.
 	StepMin, StepMax float64
 
+	// OnStep, when non-nil, is invoked at the end of every Step with the
+	// 0-based cumulative step index (monotone across Resets), the objective
+	// value observed at the reference point and the step size used. The
+	// telemetry layer hangs off this; a nil hook adds no overhead and no
+	// allocations to the step.
+	OnStep func(iter int, val, step float64)
+
+	steps int // cumulative Step calls
+
 	n     int
 	a     float64
 	u     []float64 // main sequence
@@ -118,8 +127,15 @@ func (o *Optimizer) Step(obj Objective) (val, step float64) {
 	obj.Clamp(o.u)
 	obj.Clamp(o.v)
 	o.a = aNew
+	o.steps++
+	if o.OnStep != nil {
+		o.OnStep(o.steps-1, val, step)
+	}
 	return val, step
 }
+
+// Steps returns the cumulative number of Step calls (across Resets).
+func (o *Optimizer) Steps() int { return o.steps }
 
 // GradNorm returns the L2 norm of the last preconditioned gradient.
 func (o *Optimizer) GradNorm() float64 {

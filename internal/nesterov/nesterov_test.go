@@ -170,6 +170,68 @@ func TestGradNorm(t *testing.T) {
 	}
 }
 
+func TestOnStepHookObservesEveryStep(t *testing.T) {
+	q := &quadratic{k: []float64{1}, c: []float64{10}}
+	o := New([]float64{0}, 0.1)
+	var iters []int
+	var vals, steps []float64
+	o.OnStep = func(it int, val, step float64) {
+		iters = append(iters, it)
+		vals = append(vals, val)
+		steps = append(steps, step)
+	}
+	for i := 0; i < 5; i++ {
+		o.Step(q)
+	}
+	o.Reset([]float64{0})
+	o.Step(q)
+	if o.Steps() != 6 || len(iters) != 6 {
+		t.Fatalf("hook saw %d steps, Steps()=%d, want 6", len(iters), o.Steps())
+	}
+	for i, it := range iters {
+		if it != i {
+			t.Errorf("hook iter %d = %d, want monotone across Reset", i, it)
+		}
+	}
+	if steps[0] != 0.1 {
+		t.Errorf("first hook step = %v, want step0", steps[0])
+	}
+	if vals[0] != 50 { // ½·1·10² at the origin
+		t.Errorf("first hook val = %v, want 50", vals[0])
+	}
+}
+
+// BenchmarkStepNilHook vs BenchmarkStepWithHook quantify the telemetry
+// hook cost: the nil-hook path must report 0 allocs/op (the acceptance
+// bar for disabled telemetry on the inner Nesterov step).
+func BenchmarkStepNilHook(b *testing.B) {
+	benchStep(b, false)
+}
+
+func BenchmarkStepWithHook(b *testing.B) {
+	benchStep(b, true)
+}
+
+func benchStep(b *testing.B, hook bool) {
+	n := 512
+	q := &quadratic{k: make([]float64, n), c: make([]float64, n), precondK: true}
+	for i := range q.k {
+		q.k[i] = 1 + float64(i%7)
+		q.c[i] = float64(i % 13)
+	}
+	o := New(make([]float64, n), 0.05)
+	var sink float64
+	if hook {
+		o.OnStep = func(it int, val, step float64) { sink += val + step }
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Step(q)
+	}
+	_ = sink
+}
+
 func TestFasterThanPlainGradientDescent(t *testing.T) {
 	// Nesterov should beat fixed-step GD on a moderately conditioned
 	// quadratic after the same number of iterations.

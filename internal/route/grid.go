@@ -169,6 +169,11 @@ type Result struct {
 	OverflowTotal float64 // Σ max(0, Dmd−Cap) over G-cells (2-D)
 	OverflowCells int     // number of overflowed G-cells
 	MaxUtil       float64
+
+	// Segments is the number of two-pin segments routed; RoundsRun the
+	// number of routing rounds executed (telemetry bookkeeping).
+	Segments  int
+	RoundsRun int
 }
 
 // DemandTotal returns ΣDmd over layers at G-cell i.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netlist"
 	"repro/internal/steiner"
+	"repro/internal/telemetry"
 )
 
 // Router performs congestion-aware pattern global routing of a design on a
@@ -31,6 +32,9 @@ type Router struct {
 	ViaDemand float64
 	// PinVias is the via count charged per pin for layer access.
 	PinVias int
+	// Trace, when non-nil, receives spans for the net decomposition and
+	// each rip-up-and-reroute round.
+	Trace *telemetry.Tracer
 
 	hist   []float64 // accumulated overflow history per G-cell
 	dmdH   []float64 // current horizontal wire demand (2-D)
@@ -70,9 +74,11 @@ type segment struct {
 // Route routes every net from the current cell positions and returns the
 // demand and congestion maps.
 func (r *Router) Route() *Result {
+	sp := r.Trace.Start("route.decompose")
 	segs := r.decompose()
 	// Short segments first: they have the fewest detour options.
 	sort.SliceStable(segs, func(i, j int) bool { return segs[i].lenEst < segs[j].lenEst })
+	sp.End()
 
 	n := r.g.NX * r.g.NY
 	for i := range r.hist {
@@ -81,6 +87,7 @@ func (r *Router) Route() *Result {
 	var wl float64
 	var vias int
 	for round := 0; round < r.Rounds; round++ {
+		rsp := r.Trace.Start("route.round")
 		for i := 0; i < n; i++ {
 			r.dmdH[i], r.dmdV[i], r.dmdVia[i] = 0, 0, 0
 		}
@@ -99,12 +106,16 @@ func (r *Router) Route() *Result {
 				}
 			}
 		}
+		rsp.End()
 	}
 
 	// Pin-access vias.
 	vias += r.PinVias * len(r.d.Pins)
 
-	return r.assembleResult(wl, vias)
+	res := r.assembleResult(wl, vias)
+	res.Segments = len(segs)
+	res.RoundsRun = r.Rounds
+	return res
 }
 
 // decompose converts every net into MST two-pin segments in G-cell space.

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Baseline is the machine-readable benchmark record format
+// (BENCH_baseline.json): a label plus a deterministic metric dump. Future
+// PRs regenerate the file and diff it against the committed one to track
+// the repo's performance trajectory.
+type Baseline struct {
+	Label   string   `json:"label"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// WriteBaseline writes the registry's snapshot as an indented JSON
+// Baseline document.
+func WriteBaseline(w io.Writer, label string, r *Registry) error {
+	b := Baseline{Label: label, Metrics: r.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a Baseline document.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

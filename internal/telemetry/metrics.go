@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. A nil *Counter is
+// inert (Inc/Add are no-ops), so hot paths can hold a possibly-nil counter
+// and increment it unconditionally without allocating.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a last-value float metric. A nil *Gauge is inert.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the last value set (0 for nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets spans value decades 1e-12 … 1e12; values outside clamp to
+// the edge buckets. Bucket k counts observations with
+// 10^(k-12) <= v < 10^(k-11).
+const histBuckets = 25
+
+// Histogram summarizes a stream of non-negative observations with count,
+// sum, min, max and a fixed decade-bucket distribution. A nil *Histogram
+// is inert.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	k := int(math.Floor(math.Log10(v))) + 12
+	if k < 0 {
+		k = 0
+	}
+	if k >= histBuckets {
+		k = histBuckets - 1
+	}
+	return k
+}
+
+// Metric is one exported metric point. Kind is "counter", "gauge" or
+// "histogram"; the summary fields are populated per kind.
+type Metric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`           // counter count / gauge value / histogram mean
+	Count int64   `json:"count,omitempty"` // histogram only
+	Sum   float64 `json:"sum,omitempty"`   // histogram only
+	Min   float64 `json:"min,omitempty"`   // histogram only
+	Max   float64 `json:"max,omitempty"`   // histogram only
+}
+
+// Registry is a get-or-create store of named metrics. Accessors are
+// goroutine-safe; the returned metric handles are meant to be resolved
+// once and then updated on the hot path. A nil *Registry returns nil
+// (inert) handles from every accessor.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot exports every metric sorted by (kind, name) — a deterministic
+// order for JSON emission and run-to-run comparison. Gauges that were
+// never Set and zero-count histograms are still included so the metric
+// NAME set is deterministic too.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		m := Metric{Name: name, Kind: "histogram", Count: h.count,
+			Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			m.Value = h.sum / float64(h.count)
+		}
+		h.mu.Unlock()
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one decoded JSONL trace line. Fields are populated per kind
+// (see the package comment for the schema).
+type Event struct {
+	Seq    int64              `json:"seq"`
+	Ev     string             `json:"ev"`
+	Span   int                `json:"span,omitempty"`
+	Parent int                `json:"parent,omitempty"`
+	Name   string             `json:"name,omitempty"`
+	DurUS  int64              `json:"dur_us,omitempty"`
+	Iter   int                `json:"iter,omitempty"`
+	Msg    string             `json:"msg,omitempty"`
+	F      map[string]float64 `json:"f,omitempty"`
+	Kind   string             `json:"kind,omitempty"`
+	Value  float64            `json:"value,omitempty"`
+	Count  int64              `json:"count,omitempty"`
+	Sum    float64            `json:"sum,omitempty"`
+	Min    float64            `json:"min,omitempty"`
+	Max    float64            `json:"max,omitempty"`
+}
+
+// Trace is a fully parsed trace file.
+type Trace struct {
+	Events []Event
+	// Stages aggregates span durations by name in first-seen order, with
+	// tree depth, rebuilt from the span_start/span_end events.
+	Stages []StageTiming
+	// SnapNames lists snapshot series names in first-seen order.
+	SnapNames []string
+	// Snaps holds the snapshot events of each series in stream order.
+	Snaps map[string][]Event
+	// Metrics holds the trailing metric dump, in stream order.
+	Metrics []Event
+	// Logs counts log + timing events.
+	Logs int
+}
+
+// ReadTrace parses a JSONL trace stream.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{Snaps: map[string][]Event{}}
+	byKey := map[string]int{}
+	depthOf := map[int]int{} // span id -> depth
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		}
+		t.Events = append(t.Events, ev)
+		switch ev.Ev {
+		case "span_start":
+			depth := 0
+			if d, ok := depthOf[ev.Parent]; ok {
+				depth = d + 1
+			}
+			depthOf[ev.Span] = depth
+			if _, ok := byKey[ev.Name]; !ok {
+				byKey[ev.Name] = len(t.Stages)
+				t.Stages = append(t.Stages, StageTiming{Name: ev.Name, Depth: depth})
+			}
+		case "span_end":
+			if i, ok := byKey[ev.Name]; ok {
+				t.Stages[i].Count++
+				t.Stages[i].Total += time.Duration(ev.DurUS) * time.Microsecond
+			}
+		case "snap":
+			if _, ok := t.Snaps[ev.Name]; !ok {
+				t.SnapNames = append(t.SnapNames, ev.Name)
+			}
+			t.Snaps[ev.Name] = append(t.Snaps[ev.Name], ev)
+		case "metric":
+			t.Metrics = append(t.Metrics, ev)
+		case "log", "timing":
+			t.Logs++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return t, nil
+}
+
+// RootTotal returns the summed duration of the top-level (depth 0) spans.
+func (t *Trace) RootTotal() time.Duration {
+	var total time.Duration
+	for _, s := range t.Stages {
+		if s.Depth == 0 {
+			total += s.Total
+		}
+	}
+	return total
+}
+
+// sparkLevels are the ASCII intensity steps of a sparkline, low to high.
+const sparkLevels = " .:-=+*#%@"
+
+// Sparkline renders vals as a fixed-width ASCII intensity strip,
+// min-max normalized; wider series are mean-downsampled into width
+// columns. An empty series renders as an empty string.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	// Downsample (or keep) into at most width column means.
+	cols := width
+	if len(vals) < cols {
+		cols = len(vals)
+	}
+	col := make([]float64, cols)
+	for i := range col {
+		lo := i * len(vals) / cols
+		hi := (i + 1) * len(vals) / cols
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, v := range vals[lo:hi] {
+			s += v
+		}
+		col[i] = s / float64(hi-lo)
+	}
+	mn, mx := col[0], col[0]
+	for _, v := range col {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	var sb strings.Builder
+	n := len(sparkLevels) - 1
+	for _, v := range col {
+		k := n / 2
+		if mx > mn {
+			k = int((v - mn) / (mx - mn) * float64(n))
+		}
+		sb.WriteByte(sparkLevels[k])
+	}
+	return sb.String()
+}
+
+// WriteReport renders the human-readable trace summary: the per-stage
+// timing table, convergence sparklines for every snapshot series, and
+// the final metrics dump.
+func (t *Trace) WriteReport(w io.Writer) {
+	root := t.RootTotal()
+	fmt.Fprintf(w, "trace: %d events, %d stages, %d snapshot series, %d log lines\n\n",
+		len(t.Events), len(t.Stages), len(t.SnapNames), t.Logs)
+
+	fmt.Fprintf(w, "Per-stage timing\n")
+	fmt.Fprintf(w, "  %-34s %7s %12s %12s %7s\n", "stage", "count", "total", "avg", "%root")
+	for _, s := range t.Stages {
+		indent := strings.Repeat("  ", s.Depth)
+		avg := time.Duration(0)
+		if s.Count > 0 {
+			avg = s.Total / time.Duration(s.Count)
+		}
+		pct := 0.0
+		if root > 0 {
+			pct = 100 * float64(s.Total) / float64(root)
+		}
+		fmt.Fprintf(w, "  %-34s %7d %12s %12s %6.1f%%\n",
+			indent+s.Name, s.Count, fmtDur(s.Total), fmtDur(avg), pct)
+	}
+
+	for _, name := range t.SnapNames {
+		events := t.Snaps[name]
+		fmt.Fprintf(w, "\nConvergence: %s (%d samples)\n", name, len(events))
+		for _, key := range snapFieldKeys(events) {
+			vals := make([]float64, 0, len(events))
+			for _, ev := range events {
+				if v, ok := ev.F[key]; ok {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-16s |%s| first %-11s last %-11s\n",
+				key, Sparkline(vals, 60), fmtVal(vals[0]), fmtVal(vals[len(vals)-1]))
+		}
+	}
+
+	if len(t.Metrics) > 0 {
+		fmt.Fprintf(w, "\nMetrics\n")
+		for _, m := range t.Metrics {
+			switch m.Kind {
+			case "histogram":
+				fmt.Fprintf(w, "  %-34s %-9s n=%-7d mean=%-11s min=%-11s max=%s\n",
+					m.Name, m.Kind, m.Count, fmtVal(m.Value), fmtVal(m.Min), fmtVal(m.Max))
+			default:
+				fmt.Fprintf(w, "  %-34s %-9s %s\n", m.Name, m.Kind, fmtVal(m.Value))
+			}
+		}
+	}
+}
+
+// snapFieldKeys returns the union of field names of a snapshot series,
+// sorted (JSON decoding loses the original field order).
+func snapFieldKeys(events []Event) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, ev := range events {
+		for k := range ev.F {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtVal(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	if a != 0 && (a >= 1e6 || a < 1e-3) {
+		return fmt.Sprintf("%.3e", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// StripTimings canonicalizes a JSONL trace for run-to-run comparison:
+// it removes the "dur_us" field from span_end events and drops "timing"
+// events entirely (the only wall-clock content in a trace), re-encoding
+// every remaining event with sorted keys. Two runs of the same
+// deterministic placement must produce byte-identical canonical traces.
+func StripTimings(trace []byte) ([]byte, error) {
+	var out bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(trace))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		}
+		if m["ev"] == "timing" {
+			continue
+		}
+		delete(m, "dur_us")
+		enc, err := json.Marshal(m) // map keys marshal sorted: canonical
+		if err != nil {
+			return nil, err
+		}
+		out.Write(enc)
+		out.WriteByte('\n')
+	}
+	return out.Bytes(), sc.Err()
+}

@@ -1,0 +1,269 @@
+// Package telemetry is the placer's observability layer: hierarchical
+// timed spans (Tracer), a metrics registry (counters, gauges, histograms),
+// and per-iteration snapshot records, all emitted as one deterministic
+// JSONL event stream.
+//
+// Determinism contract: for a fixed design, mode and options, two runs
+// produce byte-identical event streams apart from wall-clock content —
+// the "dur_us" field of span_end events and events of kind "timing".
+// StripTimings canonicalizes a trace by removing exactly those, which is
+// what the determinism tests (and any trace-diffing tooling) compare.
+//
+// Everything is stdlib-only and inert when disabled: a nil *Observer, nil
+// *Tracer, nil *Span and nil metric handles are all safe to call and do
+// nothing, so pipeline code can be instrumented unconditionally without
+// allocating on the disabled path.
+//
+// The JSONL schema (one event per line, "seq" strictly increasing):
+//
+//	{"seq":0,"ev":"span_start","span":1,"parent":0,"name":"place"}
+//	{"seq":1,"ev":"log","msg":"phase 1: ..."}
+//	{"seq":2,"ev":"snap","name":"wl_iter","iter":0,"f":{"overflow":0.93,...}}
+//	{"seq":3,"ev":"timing","msg":"timing: PT 1.24s, RT 0.31s"}
+//	{"seq":4,"ev":"span_end","span":1,"name":"place","dur_us":1240031}
+//	{"seq":5,"ev":"metric","name":"objective.evals","kind":"counter","value":412}
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Field is one named value of a snapshot record. Call sites pass fields
+// in a fixed order; the encoder preserves it, keeping the stream
+// deterministic without map-key sorting.
+type Field struct {
+	Key string
+	Val float64
+}
+
+// F is shorthand for constructing a Field.
+func F(key string, val float64) Field { return Field{Key: key, Val: val} }
+
+// Observer bundles the three telemetry facilities behind one handle: the
+// span Tracer, the metrics Registry, and the shared JSONL event stream
+// (snapshots, logs, metric dumps). A nil *Observer is fully inert.
+type Observer struct {
+	// Tracer records hierarchical timed spans.
+	Tracer *Tracer
+	// Metrics is the run's metric registry.
+	Metrics *Registry
+
+	mu   sync.Mutex
+	sink io.Writer // JSONL destination; nil = aggregate in memory only
+	seq  int64
+	line bytes.Buffer
+	err  error
+	now  func() time.Time
+}
+
+// NewObserver creates an observer writing JSONL events to sink. A nil
+// sink is valid: spans and metrics still aggregate (StageTimings,
+// Registry.Snapshot) but no event stream is written.
+func NewObserver(sink io.Writer) *Observer {
+	o := &Observer{sink: sink, now: time.Now}
+	o.Tracer = newTracer(o)
+	o.Metrics = NewRegistry()
+	return o
+}
+
+// StartSpan opens a span on the observer's tracer. Safe on nil.
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Start(name)
+}
+
+// Counter resolves a named counter (nil handle when o is nil).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge resolves a named gauge (nil handle when o is nil).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram resolves a named histogram (nil handle when o is nil).
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Log emits a deterministic log event. Safe on nil.
+func (o *Observer) Log(msg string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.emitLocked(func(e *eventWriter) {
+		e.str("ev", "log")
+		e.str("msg", msg)
+	})
+	o.mu.Unlock()
+}
+
+// Timing emits a log-like event whose message carries wall-clock content
+// (runtimes). It is excluded from the determinism contract: StripTimings
+// removes timing events entirely. Safe on nil.
+func (o *Observer) Timing(msg string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.emitLocked(func(e *eventWriter) {
+		e.str("ev", "timing")
+		e.str("msg", msg)
+	})
+	o.mu.Unlock()
+}
+
+// Snapshot emits one per-iteration record: a named set of fields at a
+// loop index (e.g. HPWL, overflow, λ₁, λ₂, γ at routability iteration 3).
+// Field order is preserved as given. Safe on nil.
+func (o *Observer) Snapshot(name string, iter int, fields ...Field) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.emitLocked(func(e *eventWriter) {
+		e.str("ev", "snap")
+		e.str("name", name)
+		e.num("iter", int64(iter))
+		e.fieldObj("f", fields)
+	})
+	o.mu.Unlock()
+}
+
+// Flush emits one "metric" event per registry entry (in the registry's
+// deterministic order) and returns the first write error encountered on
+// the stream, if any. Call once at the end of a run. Safe on nil.
+func (o *Observer) Flush() error {
+	if o == nil {
+		return nil
+	}
+	snap := o.Metrics.Snapshot()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range snap {
+		m := &snap[i]
+		o.emitLocked(func(e *eventWriter) {
+			e.str("ev", "metric")
+			e.str("name", m.Name)
+			e.str("kind", m.Kind)
+			e.f64("value", m.Value)
+			if m.Kind == "histogram" {
+				e.num("count", m.Count)
+				e.f64("sum", m.Sum)
+				e.f64("min", m.Min)
+				e.f64("max", m.Max)
+			}
+		})
+	}
+	return o.err
+}
+
+// Err returns the first write error seen on the event stream, if any.
+func (o *Observer) Err() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// emitLocked writes one event line. Callers must hold o.mu. With no sink
+// the sequence number still advances so that enabling the sink never
+// changes span IDs or aggregation behaviour.
+func (o *Observer) emitLocked(fill func(*eventWriter)) {
+	seq := o.seq
+	o.seq++
+	if o.sink == nil || o.err != nil {
+		return
+	}
+	o.line.Reset()
+	e := eventWriter{buf: &o.line}
+	e.open(seq)
+	fill(&e)
+	e.close()
+	if _, err := o.sink.Write(o.line.Bytes()); err != nil {
+		o.err = err
+	}
+}
+
+// eventWriter hand-assembles one JSON object so that field order,
+// float formatting and string escaping are fully under our control
+// (encoding/json would also work, but this keeps the hot path free of
+// reflection and makes the determinism contract explicit).
+type eventWriter struct {
+	buf *bytes.Buffer
+}
+
+func (e *eventWriter) open(seq int64) {
+	e.buf.WriteString(`{"seq":`)
+	e.buf.WriteString(strconv.FormatInt(seq, 10))
+}
+
+func (e *eventWriter) close() {
+	e.buf.WriteString("}\n")
+}
+
+func (e *eventWriter) key(k string) {
+	e.buf.WriteByte(',')
+	e.buf.WriteByte('"')
+	e.buf.WriteString(k) // keys are compile-time identifiers, no escaping
+	e.buf.WriteString(`":`)
+}
+
+func (e *eventWriter) str(k, v string) {
+	e.key(k)
+	e.buf.WriteString(strconv.Quote(v))
+}
+
+func (e *eventWriter) num(k string, v int64) {
+	e.key(k)
+	e.buf.WriteString(strconv.FormatInt(v, 10))
+}
+
+func (e *eventWriter) f64(k string, v float64) {
+	e.key(k)
+	writeFloat(e.buf, v)
+}
+
+func (e *eventWriter) fieldObj(k string, fields []Field) {
+	e.key(k)
+	e.buf.WriteByte('{')
+	for i, f := range fields {
+		if i > 0 {
+			e.buf.WriteByte(',')
+		}
+		e.buf.WriteString(strconv.Quote(f.Key))
+		e.buf.WriteByte(':')
+		writeFloat(e.buf, f.Val)
+	}
+	e.buf.WriteByte('}')
+}
+
+// writeFloat emits v as JSON: shortest round-trip decimal, with the
+// non-finite values (invalid in JSON) mapped to null.
+func writeFloat(buf *bytes.Buffer, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		buf.WriteString("null")
+		return
+	}
+	buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a now() that advances by step on every call.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestTracerHierarchyAndAggregation(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewObserver(&buf)
+	o.now = fakeClock(time.Millisecond)
+
+	root := o.StartSpan("place")
+	a := o.StartSpan("phase1")
+	a.End()
+	for i := 0; i < 3; i++ {
+		it := o.StartSpan("route_iter")
+		r := o.StartSpan("route")
+		r.End()
+		it.End()
+	}
+	root.End()
+
+	st := o.Tracer.StageTimings()
+	want := []struct {
+		name         string
+		depth, count int
+	}{
+		{"place", 0, 1}, {"phase1", 1, 1}, {"route_iter", 1, 3}, {"route", 2, 3},
+	}
+	if len(st) != len(want) {
+		t.Fatalf("got %d stages, want %d: %+v", len(st), len(want), st)
+	}
+	for i, w := range want {
+		if st[i].Name != w.name || st[i].Depth != w.depth || st[i].Count != w.count {
+			t.Errorf("stage %d = %+v, want %+v", i, st[i], w)
+		}
+		if st[i].Total <= 0 {
+			t.Errorf("stage %q has no recorded time", st[i].Name)
+		}
+	}
+
+	// Every line must be valid JSON.
+	for ln, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", ln+1, err, line)
+		}
+	}
+
+	// The trace must parse back to the same aggregation structure.
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stages) != len(want) {
+		t.Fatalf("parsed %d stages, want %d", len(tr.Stages), len(want))
+	}
+	for i, w := range want {
+		if tr.Stages[i].Name != w.name || tr.Stages[i].Depth != w.depth || tr.Stages[i].Count != w.count {
+			t.Errorf("parsed stage %d = %+v, want %+v", i, tr.Stages[i], w)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	sp := o.StartSpan("x")
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	o.Log("msg")
+	o.Timing("msg")
+	o.Snapshot("s", 0, F("a", 1))
+	o.Counter("c").Inc()
+	o.Counter("c").Add(5)
+	o.Gauge("g").Set(1)
+	o.Histogram("h").Observe(1)
+	if err := o.Flush(); err != nil {
+		t.Errorf("nil flush: %v", err)
+	}
+	var tr *Tracer
+	tr.Start("x").End()
+	if tr.StageTimings() != nil {
+		t.Error("nil tracer returned timings")
+	}
+	var reg *Registry
+	if reg.Counter("x") != nil || reg.Snapshot() != nil {
+		t.Error("nil registry returned live handles")
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b.count")
+	c.Inc()
+	c.Add(2)
+	if c != r.Counter("b.count") {
+		t.Error("counter not get-or-create")
+	}
+	r.Gauge("a.gauge").Set(3.5)
+	h := r.Histogram("c.hist")
+	for _, v := range []float64{1, 2, 3} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	// Sorted by (kind, name): counter, gauge, histogram.
+	if snap[0].Name != "b.count" || snap[0].Value != 3 {
+		t.Errorf("counter entry wrong: %+v", snap[0])
+	}
+	if snap[1].Name != "a.gauge" || snap[1].Value != 3.5 {
+		t.Errorf("gauge entry wrong: %+v", snap[1])
+	}
+	hm := snap[2]
+	if hm.Count != 3 || hm.Sum != 6 || hm.Min != 1 || hm.Max != 3 || hm.Value != 2 {
+		t.Errorf("histogram entry wrong: %+v", hm)
+	}
+}
+
+func TestStripTimingsCanonicalizes(t *testing.T) {
+	run := func(clock func() time.Time) []byte {
+		var buf bytes.Buffer
+		o := NewObserver(&buf)
+		o.now = clock
+		sp := o.StartSpan("place")
+		o.Log("hello")
+		o.Snapshot("it", 0, F("x", 1.25))
+		o.Timing("timing: PT 1.00s")
+		sp.End()
+		o.Counter("n").Inc()
+		if err := o.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := run(fakeClock(time.Millisecond))
+	b := run(fakeClock(7 * time.Millisecond)) // different wall-clock → different raw trace
+	if bytes.Equal(a, b) {
+		t.Fatal("raw traces unexpectedly identical; clock fake broken")
+	}
+	ca, err := StripTimings(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := StripTimings(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("canonical traces differ:\n%s\nvs\n%s", ca, cb)
+	}
+	if strings.Contains(string(ca), "dur_us") || strings.Contains(string(ca), "timing") {
+		t.Errorf("canonical trace still contains wall-clock content:\n%s", ca)
+	}
+}
+
+func TestSnapshotFieldOrderPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewObserver(&buf)
+	o.Snapshot("s", 3, F("zeta", 1), F("alpha", 2))
+	line := buf.String()
+	if strings.Index(line, "zeta") > strings.Index(line, "alpha") {
+		t.Errorf("field order not preserved: %s", line)
+	}
+	if !strings.Contains(line, `"iter":3`) {
+		t.Errorf("iter missing: %s", line)
+	}
+}
+
+func TestNonFiniteFloatsEncodeAsNull(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewObserver(&buf)
+	o.Snapshot("s", 0, F("bad", math.Inf(1)))
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &m); err != nil {
+		t.Fatalf("non-finite float produced invalid JSON: %v\n%s", err, buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil, 10); s != "" {
+		t.Errorf("empty series sparkline = %q", s)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10)
+	if len(s) != 10 {
+		t.Fatalf("sparkline width %d, want 10", len(s))
+	}
+	if s[0] != sparkLevels[0] || s[9] != sparkLevels[len(sparkLevels)-1] {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	// Constant series: mid-level everywhere, no div-by-zero.
+	c := Sparkline([]float64{2, 2, 2}, 10)
+	if len(c) != 3 {
+		t.Errorf("constant series width %d, want 3", len(c))
+	}
+	// Downsampling long series to the target width.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := Sparkline(long, 60); len(got) != 60 {
+		t.Errorf("downsampled width %d, want 60", len(got))
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewObserver(&buf)
+	o.now = fakeClock(time.Millisecond)
+	root := o.StartSpan("place")
+	for i := 0; i < 5; i++ {
+		sp := o.StartSpan("route_iter")
+		o.Snapshot("route_iter", i,
+			F("overflow_score", float64(100-20*i)), F("lambda2", 0.1*float64(i)))
+		sp.End()
+	}
+	root.End()
+	o.Counter("route.calls").Add(5)
+	o.Histogram("nesterov.step_size").Observe(0.5)
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep strings.Builder
+	tr.WriteReport(&rep)
+	out := rep.String()
+	for _, want := range []string{
+		"Per-stage timing", "place", "route_iter",
+		"Convergence: route_iter (5 samples)", "overflow_score", "lambda2",
+		"Metrics", "route.calls", "nesterov.step_size",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("bench.fft_b.drvs").Set(42)
+	r.Counter("bench.designs").Inc()
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, "seed", r); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Label != "seed" || len(b.Metrics) != 2 {
+		t.Errorf("baseline round trip wrong: %+v", b)
+	}
+}
+
+func TestObserverWithNilSinkStillAggregates(t *testing.T) {
+	o := NewObserver(nil)
+	sp := o.StartSpan("x")
+	sp.End()
+	o.Counter("c").Inc()
+	st := o.Tracer.StageTimings()
+	if len(st) != 1 || st[0].Name != "x" || st[0].Count != 1 {
+		t.Errorf("nil-sink aggregation wrong: %+v", st)
+	}
+	if got := o.Metrics.Counter("c").Value(); got != 1 {
+		t.Errorf("nil-sink counter = %d", got)
+	}
+	if err := o.Flush(); err != nil {
+		t.Errorf("nil-sink flush: %v", err)
+	}
+}

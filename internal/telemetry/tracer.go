@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// Span is one timed region of the pipeline. Spans form a tree: a span
+// started while another is active becomes its child. Spans must be ended
+// in LIFO order (strict nesting), which the pipeline's call structure
+// guarantees. A nil *Span is inert: End on it is a no-op, so callers can
+// write `sp := tr.Start("x"); ...; sp.End()` without nil checks even when
+// tracing is disabled.
+type Span struct {
+	t     *Tracer
+	id    int
+	name  string
+	start time.Time
+}
+
+// StageTiming aggregates every span of one name: how many ran and their
+// total wall-clock time. Depth is the tree depth of the first span seen
+// with this name (0 = top level), used by reports for indentation.
+type StageTiming struct {
+	Name  string        `json:"name"`
+	Depth int           `json:"depth"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// Tracer records hierarchical timed spans and emits them as trace events.
+// The zero value is not usable; a Tracer is obtained from NewObserver. A
+// nil *Tracer is inert: Start returns a nil Span and StageTimings returns
+// nil, so subsystems can accept an optional *Tracer field and call it
+// unconditionally.
+type Tracer struct {
+	obs *Observer
+
+	nextID int
+	stack  []spanRef // active spans, root at index 0
+
+	agg   []StageTiming  // insertion-ordered aggregation by name
+	byKey map[string]int // name -> index into agg
+}
+
+type spanRef struct {
+	id   int
+	name string
+}
+
+func newTracer(obs *Observer) *Tracer {
+	return &Tracer{obs: obs, byKey: map[string]int{}}
+}
+
+// Start opens a new span as a child of the innermost active span and
+// emits a span_start event. Safe on a nil Tracer (returns nil).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.obs.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	parent := 0
+	depth := len(t.stack)
+	if depth > 0 {
+		parent = t.stack[depth-1].id
+	}
+	t.stack = append(t.stack, spanRef{id: id, name: name})
+	if _, ok := t.byKey[name]; !ok {
+		t.byKey[name] = len(t.agg)
+		t.agg = append(t.agg, StageTiming{Name: name, Depth: depth})
+	}
+	t.obs.emitLocked(func(e *eventWriter) {
+		e.str("ev", "span_start")
+		e.num("span", int64(id))
+		e.num("parent", int64(parent))
+		e.str("name", name)
+	})
+	t.obs.mu.Unlock()
+	return &Span{t: t, id: id, name: name, start: t.obs.now()}
+}
+
+// End closes the span, emits a span_end event carrying the wall-clock
+// duration, and folds the duration into the per-stage aggregate. Returns
+// the duration (0 for a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	t := s.t
+	dur := t.obs.now().Sub(s.start)
+	t.obs.mu.Lock()
+	// Pop this span from the active stack. Strict nesting makes it the
+	// top; search defensively so a misuse cannot corrupt the stack.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i].id == s.id {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	st := &t.agg[t.byKey[s.name]]
+	st.Count++
+	st.Total += dur
+	t.obs.emitLocked(func(e *eventWriter) {
+		e.str("ev", "span_end")
+		e.num("span", int64(s.id))
+		e.str("name", s.name)
+		e.num("dur_us", dur.Microseconds())
+	})
+	t.obs.mu.Unlock()
+	return dur
+}
+
+// StageTimings returns a copy of the per-stage aggregates in first-seen
+// order. Safe on a nil Tracer (returns nil).
+func (t *Tracer) StageTimings() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.obs.mu.Lock()
+	defer t.obs.mu.Unlock()
+	out := make([]StageTiming, len(t.agg))
+	copy(out, t.agg)
+	return out
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/netlist"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Design is a placement instance: die, rows, cells, nets, pins and PG rails.
@@ -95,6 +96,20 @@ type Result = core.Result
 
 // Metrics is the post-route scorecard of one placement.
 type Metrics = eval.Metrics
+
+// Observer is the telemetry handle: hierarchical span traces, a metrics
+// registry and per-iteration snapshots, emitted as deterministic JSONL.
+// Set one on Options.Observer to instrument a run; summarize the trace
+// with `go run ./cmd/tracereport`. See internal/telemetry for the schema.
+type Observer = telemetry.Observer
+
+// StageTiming is one per-stage entry of Result.StageTimings.
+type StageTiming = telemetry.StageTiming
+
+// NewObserver creates a telemetry observer writing JSONL events to sink.
+// A nil sink aggregates spans and metrics in memory without writing a
+// trace stream.
+func NewObserver(sink io.Writer) *Observer { return telemetry.NewObserver(sink) }
 
 // AllTechniques enables MCI, DC and DPA — the full paper configuration.
 func AllTechniques() Techniques { return core.AllTechniques() }
