@@ -18,33 +18,30 @@ package nmplace
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"testing"
 
 	"repro/internal/congestion"
 	"repro/internal/core"
+	"repro/internal/density"
+	"repro/internal/poisson"
 	"repro/internal/route"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/wirelength"
 )
 
 // benchDesigns is the representative Table I subset used by the benchmarks:
 // one design per family spanning hot and calm routability regimes.
 var benchDesigns = []string{"fft_b", "des_perf_1", "pci_bridge32_a", "matrix_mult_b"}
 
-// TestWriteBenchBaseline regenerates BENCH_baseline.json: the telemetry
-// registry of one ModeOurs run over every benchDesigns entry, with the
-// per-design headline metrics added as gauges. The file is the committed
-// machine-readable reference; diff a fresh run against it to spot quality
-// or work-count regressions. Skipped unless WRITE_BENCH_BASELINE=1 (it
-// places four real designs, far slower than the unit suite).
-//
-//	WRITE_BENCH_BASELINE=1 go test -run TestWriteBenchBaseline .
-func TestWriteBenchBaseline(t *testing.T) {
-	if os.Getenv("WRITE_BENCH_BASELINE") != "1" {
-		t.Skip("set WRITE_BENCH_BASELINE=1 to regenerate BENCH_baseline.json")
-	}
-	obs := telemetry.NewObserver(nil) // registry only; no event stream
+// runBenchSuite places every benchDesigns entry in ModeOurs into obs,
+// recording the per-design headline metrics as gauges alongside the shared
+// pipeline counters. Shared by the baseline writer and the regression gate
+// so both measure exactly the same run.
+func runBenchSuite(t *testing.T, obs *telemetry.Observer) {
+	t.Helper()
 	for _, name := range benchDesigns {
 		d, err := synth.Generate(name)
 		if err != nil {
@@ -55,13 +52,33 @@ func TestWriteBenchBaseline(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		// Per-design headline gauges alongside the shared pipeline counters.
 		obs.Gauge(fmt.Sprintf("bench.%s.drwl", name)).Set(res.Metrics.DRWL)
 		obs.Gauge(fmt.Sprintf("bench.%s.drvias", name)).Set(float64(res.Metrics.DRVias))
 		obs.Gauge(fmt.Sprintf("bench.%s.drvs", name)).Set(float64(res.Metrics.DRVs))
 		obs.Gauge(fmt.Sprintf("bench.%s.hpwl", name)).Set(res.HPWLFinal)
 		obs.Gauge(fmt.Sprintf("bench.%s.route_iters", name)).Set(float64(res.RouteIters))
 	}
+}
+
+// TestWriteBenchBaseline regenerates BENCH_baseline.json: the telemetry
+// registry of one ModeOurs run over every benchDesigns entry, with the
+// per-design headline metrics added as gauges. The file is the committed
+// machine-readable reference; TestBenchRegression diffs a fresh run against
+// it to spot quality or work-count regressions. Skipped unless
+// WRITE_BENCH_BASELINE=1 (it places four real designs, far slower than the
+// unit suite).
+//
+//	WRITE_BENCH_BASELINE=1 go test -run TestWriteBenchBaseline .
+//
+// Regenerate the file whenever an intentional algorithm change shifts the
+// headline numbers; the volatile (wall-clock) metrics it contains are
+// ignored by the comparison.
+func TestWriteBenchBaseline(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_BASELINE") != "1" {
+		t.Skip("set WRITE_BENCH_BASELINE=1 to regenerate BENCH_baseline.json")
+	}
+	obs := telemetry.NewObserver(nil) // registry only; no event stream
+	runBenchSuite(t, obs)
 	f, err := os.Create("BENCH_baseline.json")
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +87,57 @@ func TestWriteBenchBaseline(t *testing.T) {
 	label := fmt.Sprintf("mode=ours designs=%v", benchDesigns)
 	if err := telemetry.WriteBaseline(f, label, obs.Metrics); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// benchRegressionTol is the relative drift allowed per metric before the
+// regression gate fails. The placer is deterministic, so on identical code
+// a fresh run reproduces the baseline exactly; the tolerance only absorbs
+// cross-platform libm differences (math.Exp/Pow are not bit-specified
+// across architectures or Go releases).
+const benchRegressionTol = 0.02
+
+// TestBenchRegression re-runs the benchmark suite and fails if any
+// non-volatile baseline metric drifts beyond benchRegressionTol. Run by the
+// CI bench job; skipped unless BENCH_REGRESSION=1 (same cost as the
+// baseline writer). After an intentional quality/work change, refresh the
+// reference with WRITE_BENCH_BASELINE=1 (see TestWriteBenchBaseline).
+//
+//	BENCH_REGRESSION=1 go test -run TestBenchRegression .
+func TestBenchRegression(t *testing.T) {
+	if os.Getenv("BENCH_REGRESSION") != "1" {
+		t.Skip("set BENCH_REGRESSION=1 to compare against BENCH_baseline.json")
+	}
+	f, err := os.Open("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("no baseline (regenerate with WRITE_BENCH_BASELINE=1): %v", err)
+	}
+	base, err := telemetry.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := telemetry.NewObserver(nil)
+	runBenchSuite(t, obs)
+	got := map[string]telemetry.Metric{}
+	for _, m := range obs.Metrics.Snapshot() {
+		got[m.Name] = m
+	}
+	for _, want := range base.Metrics {
+		if want.Volatile {
+			continue // wall-clock/environment content: speedups, worker counts
+		}
+		g, ok := got[want.Name]
+		if !ok {
+			t.Errorf("metric %s in baseline but missing from fresh run", want.Name)
+			continue
+		}
+		diff := math.Abs(g.Value - want.Value)
+		limit := benchRegressionTol * math.Abs(want.Value)
+		if diff > limit {
+			t.Errorf("metric %s drifted: baseline %g, got %g (|Δ| %g > %g)",
+				want.Name, want.Value, g.Value, diff, limit)
+		}
 	}
 }
 
@@ -252,6 +320,95 @@ func BenchmarkAblationInflationScheme(b *testing.B) {
 				tech.InflationScheme = scheme
 				res := placeOnce(b, "fft_b", core.ModeOurs, tech)
 				b.ReportMetric(float64(res.Metrics.DRVs), "DRVs")
+			}
+		})
+	}
+}
+
+// benchWorkerCounts are the per-kernel scaling points of the parallel
+// benchmarks. On a single-core machine every count measures the same work
+// plus goroutine overhead; compare w1 vs w4 ns/op on a multi-core runner
+// (the CI bench job) for the real speedup.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkParallelWirelength measures the net-parallel WA gradient on a
+// superblue-family design at several worker counts (serial baseline = w1).
+func BenchmarkParallelWirelength(b *testing.B) {
+	d, err := synth.Generate("superblue11_a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			m := wirelength.New(d, 10)
+			m.Workers = w
+			grad := make([]float64, 2*len(d.Cells))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range grad {
+					grad[j] = 0
+				}
+				m.EvaluateWithGrad(grad)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDensity measures the bin-parallel rasterization + Poisson
+// solve (density.Compute) at several worker counts.
+func BenchmarkParallelDensity(b *testing.B) {
+	d, err := synth.Generate("superblue11_a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			m := density.New(d, core.DefaultGridHint(len(d.Cells)))
+			m.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Compute()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPoisson measures the row/column-parallel spectral solver
+// alone on a 256×256 grid at several worker counts.
+func BenchmarkParallelPoisson(b *testing.B) {
+	const n = 256
+	rho := make([]float64, n*n)
+	for i := range rho {
+		rho[i] = math.Sin(float64(3*i)) + 0.25*math.Cos(float64(7*i))
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			s := poisson.NewSolver(n, n)
+			s.Workers = w
+			g := s.NewGrid()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Solve(rho, g)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelRoute measures the batched pattern router (parallel
+// candidate choice, serial commit) at several worker counts.
+func BenchmarkParallelRoute(b *testing.B) {
+	d, err := synth.Generate("superblue11_a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := route.NewGrid(d, core.DefaultGridHint(len(d.Cells)))
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			r := route.NewRouter(d, g)
+			r.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Route()
 			}
 		})
 	}

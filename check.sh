@@ -6,10 +6,15 @@ set -eu
 cd "$(dirname "$0")"
 
 echo "== gofmt =="
-unformatted=$(gofmt -l .)
+# Explicit path roots (not `.`): gofmt -l . descends into whatever non-Go
+# trees accumulate next to the module (editor state, build output) and so
+# behaves differently between environments. -d prints the diff so the CI
+# log shows exactly what to fix.
+unformatted=$(gofmt -l ./cmd ./internal ./examples ./*.go)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:"
 	echo "$unformatted"
+	gofmt -d ./cmd ./internal ./examples ./*.go
 	exit 1
 fi
 

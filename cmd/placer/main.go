@@ -36,6 +36,7 @@ func main() {
 	dc := flag.Bool("dc", true, "differentiable congestion / net moving (ours mode)")
 	dpa := flag.Bool("dpa", true, "dynamic pin accessibility (ours mode)")
 	riters := flag.Int("riters", 0, "max routability iterations (0 = default)")
+	workers := flag.Int("workers", 0, "worker goroutines for the parallel kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
 	tracePath := flag.String("trace", "", "write a JSONL telemetry trace to this file (- for stdout)")
 	metrics := flag.Bool("metrics", false, "print stage timings and the metrics registry")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof at this address")
@@ -55,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := core.Options{GridHint: *grid, MaxRouteIters: *riters,
+	opt := core.Options{GridHint: *grid, MaxRouteIters: *riters, Workers: *workers,
 		Tech: core.Techniques{MCI: *mci, DC: *dc, DPA: *dpa}}
 	switch *mode {
 	case "xplace":
@@ -127,13 +128,18 @@ func main() {
 		}
 		fmt.Fprintf(out, "\nMetrics\n")
 		for _, m := range obs.Metrics.Snapshot() {
+			kind := m.Kind
+			if m.Volatile {
+				kind += "*"
+			}
 			switch m.Kind {
 			case "histogram":
 				fmt.Fprintf(out, "%-34s %-9s n=%d mean=%g min=%g max=%g\n",
-					m.Name, m.Kind, m.Count, m.Value, m.Min, m.Max)
+					m.Name, kind, m.Count, m.Value, m.Min, m.Max)
 			default:
-				fmt.Fprintf(out, "%-34s %-9s %g\n", m.Name, m.Kind, m.Value)
+				fmt.Fprintf(out, "%-34s %-9s %g\n", m.Name, kind, m.Value)
 			}
 		}
+		fmt.Fprintf(out, "(* volatile: wall-clock/environment metric, excluded from canonical traces)\n")
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/poisson"
 	"repro/internal/route"
 )
@@ -39,6 +40,9 @@ type Model struct {
 	// virtual cell is placed at the segment midpoint instead of the
 	// maximum-congestion candidate.
 	VirtualAtMidpoint bool
+	// Workers caps the goroutines of the embedded Poisson solve; 0 selects
+	// runtime.NumCPU(). Any setting produces bitwise-identical fields.
+	Workers int
 
 	d *netlist.Design
 	g *route.Grid
@@ -101,8 +105,13 @@ func (m *Model) Update(res *route.Result) {
 	}
 	m.res = res
 	copy(m.rho, res.Util)
+	m.solver.Workers = m.Workers
 	m.solver.Solve(m.rho, m.field)
 }
+
+// SolverStats returns the timing of the embedded Poisson solver's parallel
+// sections (telemetry: the parallel.poisson speedup gauge).
+func (m *Model) SolverStats() parallel.Timing { return m.solver.Stats() }
 
 // Ready reports whether Update has been called at least once.
 func (m *Model) Ready() bool { return m.res != nil }

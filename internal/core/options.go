@@ -101,6 +101,14 @@ type Options struct {
 	// default 4).
 	CongestionPatience int
 
+	// Workers caps the goroutines used by the parallel kernels (wirelength
+	// gradient, density rasterization, Poisson transforms and the router's
+	// candidate choice). 0 selects runtime.NumCPU(); 1 runs fully serial.
+	// Every setting produces byte-identical placements: all parallel
+	// reductions merge a fixed number of shards in fixed index order, so
+	// the float summation tree never depends on the worker count.
+	Workers int
+
 	// SkipLegalize and SkipDetailed shorten test runs.
 	SkipLegalize bool
 	SkipDetailed bool

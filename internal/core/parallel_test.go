@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// placeRun places one catalog design with the given worker count and
+// returns the full result, the final cell positions and the canonical
+// (timing- and volatile-stripped) trace.
+func placeRun(t *testing.T, design string, workers int) (*Result, []float64, []byte) {
+	t.Helper()
+	d := synth.MustGenerate(design)
+	var trace bytes.Buffer
+	obs := telemetry.NewObserver(&trace)
+	opt := fastOpts(ModeOurs)
+	opt.Workers = workers
+	opt.Observer = obs
+	res, err := Place(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]float64, 0, 2*len(d.Cells))
+	for i := range d.Cells {
+		pos = append(pos, d.Cells[i].X, d.Cells[i].Y)
+	}
+	canon, err := telemetry.StripTimings(trace.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pos, canon
+}
+
+// TestPlaceIdenticalAcrossWorkerCounts is the tentpole's acceptance test:
+// the entire placement — every cell position, the congestion history and
+// the canonical telemetry trace — must be byte-identical whether the
+// parallel kernels run serial or with any number of workers, because every
+// float reduction merges a fixed number of shards in fixed index order.
+func TestPlaceIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, design := range []string{"tiny_open", "tiny_hot"} {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			refRes, refPos, refTrace := placeRun(t, design, workerCounts[0])
+			for _, w := range workerCounts[1:] {
+				res, pos, trace := placeRun(t, design, w)
+
+				for i := range refPos {
+					if math.Float64bits(pos[i]) != math.Float64bits(refPos[i]) {
+						t.Fatalf("workers=%d: cell coordinate %d differs bitwise from serial (%v vs %v)",
+							w, i, pos[i], refPos[i])
+					}
+				}
+
+				if res.HPWLFinal != refRes.HPWLFinal || res.FinalOverflow != refRes.FinalOverflow ||
+					res.Metrics.DRWL != refRes.Metrics.DRWL || res.Metrics.DRVias != refRes.Metrics.DRVias ||
+					res.Metrics.DRVs != refRes.Metrics.DRVs ||
+					res.WLIters != refRes.WLIters || res.RouteIters != refRes.RouteIters {
+					t.Errorf("workers=%d: result summary differs from serial:\n  serial: %+v\n  got:    %+v",
+						w, refRes.Metrics, res.Metrics)
+				}
+
+				if len(res.CongestionHistory) != len(refRes.CongestionHistory) {
+					t.Fatalf("workers=%d: congestion history length %d != serial %d",
+						w, len(res.CongestionHistory), len(refRes.CongestionHistory))
+				}
+				for i := range refRes.CongestionHistory {
+					if math.Float64bits(res.CongestionHistory[i]) != math.Float64bits(refRes.CongestionHistory[i]) {
+						t.Errorf("workers=%d: congestion history[%d] %v != serial %v",
+							w, i, res.CongestionHistory[i], refRes.CongestionHistory[i])
+					}
+				}
+
+				if !bytes.Equal(trace, refTrace) {
+					a := strings.Split(string(refTrace), "\n")
+					b := strings.Split(string(trace), "\n")
+					for i := 0; i < len(a) && i < len(b); i++ {
+						if a[i] != b[i] {
+							t.Fatalf("workers=%d: canonical traces diverge at line %d:\n  serial: %s\n  got:    %s",
+								w, i+1, a[i], b[i])
+						}
+					}
+					t.Fatalf("workers=%d: canonical traces differ in length: %d vs %d lines",
+						w, len(a), len(b))
+				}
+			}
+		})
+	}
+}

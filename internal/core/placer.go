@@ -13,6 +13,7 @@ import (
 	"repro/internal/legalize"
 	"repro/internal/nesterov"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/pgrail"
 	"repro/internal/route"
 	"repro/internal/telemetry"
@@ -62,8 +63,10 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	sp := obs.StartSpan("setup")
 	spreadInitial(d)
 	dens := density.New(d, opt.GridHint)
+	dens.Workers = opt.Workers
 	gamma0 := dens.BinW() * 0.5
 	wl := wirelength.New(d, gamma0*10)
+	wl.Workers = opt.Workers
 	grid := route.NewGrid(d, opt.GridHint)
 	if grid.NX != dens.NX || grid.NY != dens.NY {
 		sp.End()
@@ -75,6 +78,7 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	var cong *congestion.Model
 	if opt.Mode == ModeOurs && opt.Tech.DC {
 		cong = congestion.New(d, grid)
+		cong.Workers = opt.Workers
 		cong.VirtualAtMidpoint = opt.Tech.VirtualAtMidpoint
 		if opt.Tech.CongestionThreshold > 0 {
 			cong.UtilThreshold = opt.Tech.CongestionThreshold
@@ -134,9 +138,10 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 		res.WLIters, obj.lastOverflow, d.HPWL())
 
 	// ---- Phase 2: routability-driven placement ----
+	var routeStats parallel.Timing
 	if opt.Mode != ModeWirelength {
 		p2 := obs.StartSpan("phase2_routability")
-		err := routabilityLoop(d, opt, res, dens, grid, cong, obj, optm)
+		err := routabilityLoop(d, opt, res, dens, grid, cong, obj, optm, &routeStats)
 		p2.End()
 		if err != nil {
 			root.End()
@@ -176,7 +181,7 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	// ---- Final routing evaluation (the Innovus stand-in) ----
 	rStart := time.Now()
 	esp := obs.StartSpan("eval")
-	res.Metrics = eval.EvaluateTraced(d, opt.GridHint, tr)
+	res.Metrics = eval.EvaluateTraced(d, opt.GridHint, tr, opt.Workers)
 	esp.End()
 	res.RouteTime = time.Since(rStart)
 	opt.logf("final: DRWL %.0f, vias %d, DRVs %d",
@@ -193,6 +198,17 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 		obs.Gauge("eval.drwl").Set(res.Metrics.DRWL)
 		obs.Gauge("eval.drvias").Set(float64(res.Metrics.DRVias))
 		obs.Gauge("eval.drvs").Set(float64(res.Metrics.DRVs))
+		// Parallelism gauges are volatile: wall-clock ratios that vary
+		// with machine and load, excluded from canonical traces.
+		obs.VolatileGauge("parallel.workers").Set(float64(parallel.Resolve(opt.Workers)))
+		obs.VolatileGauge("parallel.wirelength.speedup").Set(wl.Stats().Speedup())
+		obs.VolatileGauge("parallel.density.speedup").Set(dens.Stats().Speedup())
+		pstats := dens.SolverStats()
+		if cong != nil {
+			pstats.Add(cong.SolverStats())
+		}
+		obs.VolatileGauge("parallel.poisson.speedup").Set(pstats.Speedup())
+		obs.VolatileGauge("parallel.route.speedup").Set(routeStats.Speedup())
 		res.StageTimings = obs.Tracer.StageTimings()
 	}
 	return res, nil
@@ -202,7 +218,7 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 // ModeOurs.
 func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 	dens *density.Model, grid *route.Grid, cong *congestion.Model,
-	obj *objective, optm *nesterov.Optimizer) error {
+	obj *objective, optm *nesterov.Optimizer, routeStats *parallel.Timing) error {
 
 	obs := opt.Observer
 	var tr *telemetry.Tracer
@@ -274,8 +290,10 @@ func routabilityLoop(d *netlist.Design, opt Options, res *Result,
 		sp := obs.StartSpan("route")
 		rtr := route.NewRouter(d, grid)
 		rtr.Trace = tr
+		rtr.Workers = opt.Workers
 		rres := rtr.Route()
 		sp.End()
+		routeStats.Add(rtr.Stats())
 		routeCalls.Inc()
 		ripupRounds.Add(int64(rres.RoundsRun))
 		routeSegs.Add(int64(rres.Segments))

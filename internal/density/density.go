@@ -18,13 +18,25 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/poisson"
 	"repro/internal/spectral"
 )
 
 // Model holds the bin grid, the Poisson solver, filler cells and scratch
 // buffers for density evaluation of one design.
+//
+// Rasterization and the penalty/overflow reductions run cell- or bin-parallel
+// over the internal/parallel shard layer: splats land in shard-private bin
+// maps merged in fixed shard order, so every worker count produces
+// byte-identical fields, penalties and gradients.
 type Model struct {
+	// Workers caps the goroutines used per evaluation (rasterization,
+	// penalty, gradients and the embedded Poisson solve); 0 selects
+	// runtime.NumCPU(), 1 runs fully serial. Results are byte-identical
+	// for any setting.
+	Workers int
+
 	d      *netlist.Design
 	NX, NY int
 	binW   float64
@@ -38,6 +50,12 @@ type Model struct {
 	pgRho    []float64 // PG-rail additive density (Eq. 14), set externally
 	movArea  []float64 // per-bin movable+filler area (for overflow)
 	freeBin  []float64 // per-bin free area = binArea − fixed overlap
+
+	// Per-shard splat accumulators (merged in shard order after the
+	// parallel rasterization), and timing of the parallel sections.
+	shardRho [][]float64
+	shardMov [][]float64
+	stats    parallel.Timing
 
 	inflation []float64 // per-cell inflation ratio r_i (movables only used)
 
@@ -79,6 +97,8 @@ func New(d *netlist.Design, gridHint int) *Model {
 	m.pgRho = make([]float64, n)
 	m.movArea = make([]float64, n)
 	m.freeBin = make([]float64, n)
+	m.shardRho = parallel.NewShards(n)
+	m.shardMov = parallel.NewShards(n)
 	m.inflation = make([]float64, len(d.Cells))
 	for i := range m.inflation {
 		m.inflation[i] = 1
@@ -87,6 +107,15 @@ func New(d *netlist.Design, gridHint int) *Model {
 	m.buildFillers()
 	return m
 }
+
+// Stats returns the accumulated wall/busy time of the model's own parallel
+// sections — rasterization, penalty, gradient and overflow loops, excluding
+// the embedded Poisson solve (telemetry: the parallel.density speedup gauge).
+func (m *Model) Stats() parallel.Timing { return m.stats }
+
+// SolverStats returns the timing of the embedded Poisson solver's parallel
+// sections (telemetry: the parallel.poisson speedup gauge).
+func (m *Model) SolverStats() parallel.Timing { return m.solver.Stats() }
 
 // BinW returns the bin width.
 func (m *Model) BinW() float64 { return m.binW }
@@ -291,34 +320,47 @@ func (m *Model) splat(dst []float64, r geom.Rect, scale float64, smooth bool) {
 // Compute rasterizes the current cell and filler positions and solves the
 // Poisson equation. It must be called before Penalty, Overflow or the
 // gradient accessors.
+//
+// Splats go into per-shard bin maps merged in fixed shard order, so the
+// charge field is byte-identical for every worker count.
 func (m *Model) Compute() {
+	parallel.ZeroFloats(m.shardRho)
+	parallel.ZeroFloats(m.shardMov)
+	m.stats.Add(parallel.For(m.Workers, len(m.d.Cells), func(shard, lo, hi int) {
+		rho, mov := m.shardRho[shard], m.shardMov[shard]
+		for ci := lo; ci < hi; ci++ {
+			c := &m.d.Cells[ci]
+			if !c.Movable() {
+				continue
+			}
+			r := m.inflation[ci]
+			if r <= 0 {
+				r = 1
+			}
+			// Inflation scales the charge area (paper: "the cell size is
+			// proportionally inflated during density calculation").
+			w := c.W * math.Sqrt(r)
+			h := c.H * math.Sqrt(r)
+			rect := geom.NewRect(c.X-w/2, c.Y-h/2, c.X+w/2, c.Y+h/2)
+			m.splat(rho, rect, 1, true)
+			m.splat(mov, rect, 1, true)
+		}
+	}))
+	m.stats.Add(parallel.For(m.Workers, m.activeFillers, func(shard, lo, hi int) {
+		rho, mov := m.shardRho[shard], m.shardMov[shard]
+		for k := lo; k < hi; k++ {
+			x, y := m.FillerPos[2*k], m.FillerPos[2*k+1]
+			rect := geom.NewRect(x-m.FillerW/2, y-m.FillerH/2, x+m.FillerW/2, y+m.FillerH/2)
+			m.splat(rho, rect, 1, true)
+			m.splat(mov, rect, 1, true)
+		}
+	}))
 	copy(m.rho, m.fixedRho)
+	parallel.MergeFloats(m.rho, m.shardRho)
 	for i := range m.movArea {
 		m.movArea[i] = 0
 	}
-	for ci := range m.d.Cells {
-		c := &m.d.Cells[ci]
-		if !c.Movable() {
-			continue
-		}
-		r := m.inflation[ci]
-		if r <= 0 {
-			r = 1
-		}
-		// Inflation scales the charge area (paper: "the cell size is
-		// proportionally inflated during density calculation").
-		w := c.W * math.Sqrt(r)
-		h := c.H * math.Sqrt(r)
-		rect := geom.NewRect(c.X-w/2, c.Y-h/2, c.X+w/2, c.Y+h/2)
-		m.splat(m.rho, rect, 1, true)
-		m.splat(m.movArea, rect, 1, true)
-	}
-	for k := 0; k < m.activeFillers; k++ {
-		x, y := m.FillerPos[2*k], m.FillerPos[2*k+1]
-		rect := geom.NewRect(x-m.FillerW/2, y-m.FillerH/2, x+m.FillerW/2, y+m.FillerH/2)
-		m.splat(m.rho, rect, 1, true)
-		m.splat(m.movArea, rect, 1, true)
-	}
+	parallel.MergeFloats(m.movArea, m.shardMov)
 	for i := range m.rho {
 		m.rho[i] += m.pgRho[i]
 	}
@@ -328,6 +370,7 @@ func (m *Model) Compute() {
 	for i := range m.rho {
 		m.rho[i] /= binArea
 	}
+	m.solver.Workers = m.Workers
 	m.solver.Solve(m.rho, m.grid)
 }
 
@@ -362,57 +405,73 @@ func (m *Model) Field(x, y float64) (float64, float64) {
 }
 
 // Penalty returns D = ½·Σ_i A_i·ψ(x_i) over movable cells and fillers, with
-// A_i the inflated charge area.
+// A_i the inflated charge area. The sum is reduced per shard in fixed order,
+// so it is byte-identical for every worker count.
 func (m *Model) Penalty() float64 {
-	var sum float64
-	for ci := range m.d.Cells {
-		c := &m.d.Cells[ci]
-		if !c.Movable() {
-			continue
+	var cellParts, fillParts [parallel.NumShards]float64
+	m.stats.Add(parallel.For(m.Workers, len(m.d.Cells), func(shard, lo, hi int) {
+		var sum float64
+		for ci := lo; ci < hi; ci++ {
+			c := &m.d.Cells[ci]
+			if !c.Movable() {
+				continue
+			}
+			a := c.Area() * m.inflation[ci]
+			sum += a * m.Potential(c.X, c.Y)
 		}
-		a := c.Area() * m.inflation[ci]
-		sum += a * m.Potential(c.X, c.Y)
-	}
-	for k := 0; k < m.activeFillers; k++ {
-		sum += m.fillerArea * m.Potential(m.FillerPos[2*k], m.FillerPos[2*k+1])
-	}
-	return sum / 2
+		cellParts[shard] = sum
+	}))
+	m.stats.Add(parallel.For(m.Workers, m.activeFillers, func(shard, lo, hi int) {
+		var sum float64
+		for k := lo; k < hi; k++ {
+			sum += m.fillerArea * m.Potential(m.FillerPos[2*k], m.FillerPos[2*k+1])
+		}
+		fillParts[shard] = sum
+	}))
+	return (parallel.SumShards(&cellParts) + parallel.SumShards(&fillParts)) / 2
 }
 
 // AccumCellGrad adds scale·∂D/∂(x_i,y_i) = −scale·A_i·E(x_i) for every
 // movable cell into grad (layout [gx0,gy0,...], length 2·len(Cells)).
+// Writes are disjoint per cell, so the parallel form is bitwise-identical
+// to serial.
 func (m *Model) AccumCellGrad(grad []float64, scale float64) {
 	if len(grad) != 2*len(m.d.Cells) {
 		panic("density: cell gradient length mismatch")
 	}
-	for ci := range m.d.Cells {
-		c := &m.d.Cells[ci]
-		if !c.Movable() {
-			continue
+	m.stats.Add(parallel.For(m.Workers, len(m.d.Cells), func(_, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			c := &m.d.Cells[ci]
+			if !c.Movable() {
+				continue
+			}
+			a := c.Area() * m.inflation[ci]
+			ex, ey := m.Field(c.X, c.Y)
+			grad[2*ci] -= scale * a * ex
+			grad[2*ci+1] -= scale * a * ey
 		}
-		a := c.Area() * m.inflation[ci]
-		ex, ey := m.Field(c.X, c.Y)
-		grad[2*ci] -= scale * a * ex
-		grad[2*ci+1] -= scale * a * ey
-	}
+	}))
 }
 
 // AccumFillerGrad adds scale·∂D/∂(filler position) into fgrad (length
-// 2·NumFillers).
+// 2·NumFillers). Disjoint per-filler writes, bitwise-identical to serial.
 func (m *Model) AccumFillerGrad(fgrad []float64, scale float64) {
 	if len(fgrad) != len(m.FillerPos) {
 		panic("density: filler gradient length mismatch")
 	}
-	for k := 0; k < m.activeFillers; k++ {
-		ex, ey := m.Field(m.FillerPos[2*k], m.FillerPos[2*k+1])
-		fgrad[2*k] -= scale * m.fillerArea * ex
-		fgrad[2*k+1] -= scale * m.fillerArea * ey
-	}
+	m.stats.Add(parallel.For(m.Workers, m.activeFillers, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			ex, ey := m.Field(m.FillerPos[2*k], m.FillerPos[2*k+1])
+			fgrad[2*k] -= scale * m.fillerArea * ex
+			fgrad[2*k+1] -= scale * m.fillerArea * ey
+		}
+	}))
 }
 
 // Overflow returns the density overflow ratio
 // Σ_b max(0, movArea_b − target·freeArea_b) / totalMovableArea, the ePlace
-// convergence metric that also drives the γ and λ schedules.
+// convergence metric that also drives the γ and λ schedules. Bin-parallel
+// with a fixed-order shard reduction.
 func (m *Model) Overflow() float64 {
 	if m.totalMovableArea == 0 {
 		return 0
@@ -421,17 +480,21 @@ func (m *Model) Overflow() float64 {
 	if target <= 0 {
 		target = 0.9
 	}
-	var ovf float64
-	for i := range m.movArea {
-		if ex := m.movArea[i] - target*m.freeBin[i]; ex > 0 {
-			ovf += ex
+	var parts [parallel.NumShards]float64
+	m.stats.Add(parallel.For(m.Workers, len(m.movArea), func(shard, lo, hi int) {
+		var ovf float64
+		for i := lo; i < hi; i++ {
+			if ex := m.movArea[i] - target*m.freeBin[i]; ex > 0 {
+				ovf += ex
+			}
 		}
-	}
+		parts[shard] = ovf
+	}))
 	denom := m.baseMovableArea + m.fillerArea*float64(m.activeFillers)
 	if denom <= 0 {
 		denom = m.totalMovableArea
 	}
-	return ovf / denom
+	return parallel.SumShards(&parts) / denom
 }
 
 // CellDensityMap returns a copy of the per-bin movable+filler area map from

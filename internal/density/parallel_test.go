@@ -1,0 +1,88 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDensityBitwiseIdenticalAcrossWorkers: splats merge in fixed shard
+// order and the reductions use the fixed shard tree, so the charge field,
+// penalty, overflow and gradients must be bit-for-bit identical for every
+// worker count.
+func TestDensityBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	type result struct {
+		rho, mov     []float64
+		grad, fgrad  []float64
+		penalty, ovf float64
+	}
+	run := func(workers int) result {
+		d := clusterDesign(t, 64)
+		m := New(d, 32)
+		m.Workers = workers
+		m.Compute()
+		grad := make([]float64, 2*len(d.Cells))
+		m.AccumCellGrad(grad, 1.5)
+		fgrad := make([]float64, len(m.FillerPos))
+		m.AccumFillerGrad(fgrad, 1.5)
+		return result{
+			rho:     append([]float64(nil), m.rho...),
+			mov:     append([]float64(nil), m.movArea...),
+			grad:    grad,
+			fgrad:   fgrad,
+			penalty: m.Penalty(),
+			ovf:     m.Overflow(),
+		}
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, parallel.NumShards, 0} {
+		got := run(w)
+		if !bitsEqual(got.rho, ref.rho) {
+			t.Errorf("workers=%d: rho differs bitwise from serial", w)
+		}
+		if !bitsEqual(got.mov, ref.mov) {
+			t.Errorf("workers=%d: movArea differs bitwise from serial", w)
+		}
+		if !bitsEqual(got.grad, ref.grad) {
+			t.Errorf("workers=%d: cell gradient differs bitwise from serial", w)
+		}
+		if !bitsEqual(got.fgrad, ref.fgrad) {
+			t.Errorf("workers=%d: filler gradient differs bitwise from serial", w)
+		}
+		if math.Float64bits(got.penalty) != math.Float64bits(ref.penalty) {
+			t.Errorf("workers=%d: penalty %v != serial %v", w, got.penalty, ref.penalty)
+		}
+		if math.Float64bits(got.ovf) != math.Float64bits(ref.ovf) {
+			t.Errorf("workers=%d: overflow %v != serial %v", w, got.ovf, ref.ovf)
+		}
+	}
+}
+
+// TestDensityStatsAccumulate: evaluations record their parallel-section
+// cost, and the embedded solver's stats are exposed separately.
+func TestDensityStatsAccumulate(t *testing.T) {
+	d := clusterDesign(t, 32)
+	m := New(d, 32)
+	m.Compute()
+	m.Penalty()
+	m.Overflow()
+	if m.Stats().Wall <= 0 || m.Stats().Busy <= 0 {
+		t.Errorf("model stats not accumulated: %+v", m.Stats())
+	}
+	if m.SolverStats().Wall <= 0 {
+		t.Errorf("solver stats not accumulated: %+v", m.SolverStats())
+	}
+}

@@ -68,17 +68,20 @@ type Metrics struct {
 // Evaluate routes the design at high effort and derives the metrics. The
 // gridHint chooses the G-cell resolution (power-of-two rounded).
 func Evaluate(d *netlist.Design, gridHint int) Metrics {
-	return EvaluateTraced(d, gridHint, nil)
+	return EvaluateTraced(d, gridHint, nil, 0)
 }
 
-// EvaluateTraced is Evaluate with telemetry: the high-effort routing and
-// the scoring pass are recorded as child spans of the caller's current
-// span (a nil tracer disables tracing).
-func EvaluateTraced(d *netlist.Design, gridHint int, tr *telemetry.Tracer) Metrics {
+// EvaluateTraced is Evaluate with telemetry and a worker cap: the
+// high-effort routing and the scoring pass are recorded as child spans of
+// the caller's current span (a nil tracer disables tracing), and workers
+// bounds the router's parallel choice phase (0 selects runtime.NumCPU();
+// results are byte-identical for any setting).
+func EvaluateTraced(d *netlist.Design, gridHint int, tr *telemetry.Tracer, workers int) Metrics {
 	g := route.NewGrid(d, gridHint)
 	r := route.NewRouter(d, g)
 	r.Rounds = 4 // detailed-routing effort
 	r.Trace = tr
+	r.Workers = workers
 	res := r.Route()
 	sp := tr.Start("eval.score")
 	m := Score(d, res)

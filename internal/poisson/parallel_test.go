@@ -1,0 +1,49 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestSolveBitwiseIdenticalAcrossWorkers: the solver has no reductions, so
+// every worker count must produce bit-for-bit identical ψ and E fields.
+func TestSolveBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	const nx, ny = 32, 32
+	rho := make([]float64, nx*ny)
+	for i := range rho {
+		rho[i] = math.Sin(float64(3*i)) + 0.25*math.Cos(float64(7*i))
+	}
+	solve := func(workers int) *Grid {
+		s := NewSolver(nx, ny)
+		s.Workers = workers
+		g := s.NewGrid()
+		s.Solve(rho, g)
+		return g
+	}
+	ref := solve(1)
+	for _, w := range []int{2, 3, parallel.NumShards, 0} {
+		g := solve(w)
+		for i := range ref.Psi {
+			if math.Float64bits(g.Psi[i]) != math.Float64bits(ref.Psi[i]) ||
+				math.Float64bits(g.Ex[i]) != math.Float64bits(ref.Ex[i]) ||
+				math.Float64bits(g.Ey[i]) != math.Float64bits(ref.Ey[i]) {
+				t.Fatalf("workers=%d: field bit %d differs from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestSolveStatsAccumulate: Solve records the cost of its parallel
+// sections for the telemetry speedup gauges.
+func TestSolveStatsAccumulate(t *testing.T) {
+	s := NewSolver(16, 16)
+	g := s.NewGrid()
+	rho := make([]float64, 16*16)
+	rho[5] = 1
+	s.Solve(rho, g)
+	if s.Stats().Wall <= 0 || s.Stats().Busy <= 0 {
+		t.Errorf("stats not accumulated: %+v", s.Stats())
+	}
+}

@@ -10,33 +10,47 @@
 // placer uses as the electrostatic force on cells. The same solver instance
 // serves the cell-density term D(x,y) and the routing-congestion term C(x,y)
 // (paper Sec. II-B takes ρ = Dmd/Cap on the G-cell grid).
+//
+// Every transform stage is a set of independent 1-D row or column
+// transforms with disjoint outputs, so the solver parallelizes over the
+// internal/parallel shard layer with NO reductions at all: outputs are
+// bitwise-identical to the serial solver for every worker count.
 package poisson
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/spectral"
 )
 
 // Solver is a reusable spectral Poisson solver on an NX×NY grid. It
-// preallocates all scratch space; Solve performs no allocation.
+// preallocates all scratch space (one trig-plan clone and one column
+// buffer per parallel shard); Solve performs no allocation.
 type Solver struct {
+	// Workers caps the goroutines used per Solve; 0 selects
+	// runtime.NumCPU(), 1 runs fully serial. Any setting produces
+	// bitwise-identical results.
+	Workers int
+
 	nx, ny int
-	trigX  *spectral.Trig
-	trigY  *spectral.Trig
+	trigX  [parallel.NumShards]*spectral.Trig // per-shard plans (shared tables)
+	trigY  [parallel.NumShards]*spectral.Trig
 
 	wx []float64 // frequencies π·u/nx
 	wy []float64 // frequencies π·v/ny
 
-	coef   []float64 // DCT-II coefficients of ρ, then scaled for ψ
-	coefEx []float64 // coefficients scaled for Ex
-	coefEy []float64 // coefficients scaled for Ey
-	rowBuf []float64 // length max(nx, ny)
-	rowBu2 []float64
+	coef   []float64                     // DCT-II coefficients of ρ, then scaled for ψ
+	coefEx []float64                     // coefficients scaled for Ex
+	coefEy []float64                     // coefficients scaled for Ey
+	colBuf [parallel.NumShards][]float64 // per-shard column gather, length max(nx, ny)
+	colOut [parallel.NumShards][]float64
 	tmpA   []float64 // nx*ny intermediates
 	tmpB   []float64
 	tmpC   []float64
+
+	stats parallel.Timing // accumulated cost of the parallel sections
 }
 
 // Grid holds the solver outputs. Index layout is row-major: cell (ix, iy) is
@@ -57,8 +71,6 @@ func NewSolver(nx, ny int) *Solver {
 	s := &Solver{
 		nx:     nx,
 		ny:     ny,
-		trigX:  spectral.NewTrig(nx),
-		trigY:  spectral.NewTrig(ny),
 		wx:     make([]float64, nx),
 		wy:     make([]float64, ny),
 		coef:   make([]float64, nx*ny),
@@ -68,12 +80,18 @@ func NewSolver(nx, ny int) *Solver {
 		tmpB:   make([]float64, nx*ny),
 		tmpC:   make([]float64, nx*ny),
 	}
+	tx := spectral.NewTrig(nx)
+	ty := spectral.NewTrig(ny)
 	n := nx
 	if ny > n {
 		n = ny
 	}
-	s.rowBuf = make([]float64, n)
-	s.rowBu2 = make([]float64, n)
+	for i := 0; i < parallel.NumShards; i++ {
+		s.trigX[i] = tx.Clone()
+		s.trigY[i] = ty.Clone()
+		s.colBuf[i] = make([]float64, n)
+		s.colOut[i] = make([]float64, n)
+	}
 	for u := 0; u < nx; u++ {
 		s.wx[u] = math.Pi * float64(u) / float64(nx)
 	}
@@ -88,6 +106,11 @@ func (s *Solver) NX() int { return s.nx }
 
 // NY returns the grid height.
 func (s *Solver) NY() int { return s.ny }
+
+// Stats returns the accumulated wall/busy time of the parallel transform
+// sections across all Solve calls since creation (telemetry: the
+// parallel.poisson speedup gauge).
+func (s *Solver) Stats() parallel.Timing { return s.stats }
 
 // NewGrid allocates an output grid matching the solver dimensions.
 func (s *Solver) NewGrid() *Grid {
@@ -113,83 +136,99 @@ func (s *Solver) Solve(rho []float64, g *Grid) {
 	}
 
 	// Forward 2-D DCT-II of rho: rows (x direction), then columns (y).
-	for iy := 0; iy < ny; iy++ {
-		s.trigX.AnalyzeCos(s.tmpA[iy*nx:(iy+1)*nx], rho[iy*nx:(iy+1)*nx])
-	}
-	for ix := 0; ix < nx; ix++ {
-		col := s.rowBuf[:ny]
-		for iy := 0; iy < ny; iy++ {
-			col[iy] = s.tmpA[iy*nx+ix]
+	// Each row/column transform owns its output rows — no reduction.
+	s.stats.Add(parallel.For(s.Workers, ny, func(shard, lo, hi int) {
+		tx := s.trigX[shard]
+		for iy := lo; iy < hi; iy++ {
+			tx.AnalyzeCos(s.tmpA[iy*nx:(iy+1)*nx], rho[iy*nx:(iy+1)*nx])
 		}
-		s.trigY.AnalyzeCos(s.rowBu2[:ny], col)
-		for v := 0; v < ny; v++ {
-			s.coef[v*nx+ix] = s.rowBu2[v]
+	}))
+	s.stats.Add(parallel.For(s.Workers, nx, func(shard, lo, hi int) {
+		ty := s.trigY[shard]
+		col := s.colBuf[shard][:ny]
+		out := s.colOut[shard][:ny]
+		for ix := lo; ix < hi; ix++ {
+			for iy := 0; iy < ny; iy++ {
+				col[iy] = s.tmpA[iy*nx+ix]
+			}
+			ty.AnalyzeCos(out, col)
+			for v := 0; v < ny; v++ {
+				s.coef[v*nx+ix] = out[v]
+			}
 		}
-	}
+	}))
 
 	// Scale coefficients. The synthesis basis needs the DCT normalization
 	// c_u·c_v/(nx·ny) with c_0 = 1, c_{u>0} = 2, and ψ's spectral filter
 	// 1/(w_u²+w_v²). The (0,0) mode is dropped (compatibility condition).
-	for v := 0; v < ny; v++ {
-		for u := 0; u < nx; u++ {
-			i := v*nx + u
-			if u == 0 && v == 0 {
-				s.coef[i], s.coefEx[i], s.coefEy[i] = 0, 0, 0
-				continue
+	// Disjoint writes per coefficient row.
+	s.stats.Add(parallel.For(s.Workers, ny, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for u := 0; u < nx; u++ {
+				i := v*nx + u
+				if u == 0 && v == 0 {
+					s.coef[i], s.coefEx[i], s.coefEy[i] = 0, 0, 0
+					continue
+				}
+				cu, cv := 2.0, 2.0
+				if u == 0 {
+					cu = 1
+				}
+				if v == 0 {
+					cv = 1
+				}
+				w2 := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
+				b := s.coef[i] * cu * cv / (float64(nx) * float64(ny) * w2)
+				s.coef[i] = b
+				s.coefEx[i] = b * s.wx[u]
+				s.coefEy[i] = b * s.wy[v]
 			}
-			cu, cv := 2.0, 2.0
-			if u == 0 {
-				cu = 1
-			}
-			if v == 0 {
-				cv = 1
-			}
-			w2 := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
-			b := s.coef[i] * cu * cv / (float64(nx) * float64(ny) * w2)
-			s.coef[i] = b
-			s.coefEx[i] = b * s.wx[u]
-			s.coefEy[i] = b * s.wy[v]
 		}
-	}
+	}))
 
 	// ψ: cosine synthesis in x then cosine synthesis in y.
 	// Ex = −∂ψ/∂x = Σ b·w_u·sin(w_u(x+½))·cos(w_v(y+½)): sine synth in x, cos in y.
 	// Ey symmetric.
-	for v := 0; v < ny; v++ {
-		s.trigX.SynthCosSin(nil, s.tmpA[v*nx:(v+1)*nx], s.coefEx[v*nx:(v+1)*nx])
-		s.trigX.SynthCosSin(s.tmpB[v*nx:(v+1)*nx], nil, s.coef[v*nx:(v+1)*nx])
-		s.trigX.SynthCosSin(s.tmpC[v*nx:(v+1)*nx], nil, s.coefEy[v*nx:(v+1)*nx])
-	}
+	s.stats.Add(parallel.For(s.Workers, ny, func(shard, lo, hi int) {
+		tx := s.trigX[shard]
+		for v := lo; v < hi; v++ {
+			tx.SynthCosSin(nil, s.tmpA[v*nx:(v+1)*nx], s.coefEx[v*nx:(v+1)*nx])
+			tx.SynthCosSin(s.tmpB[v*nx:(v+1)*nx], nil, s.coef[v*nx:(v+1)*nx])
+			tx.SynthCosSin(s.tmpC[v*nx:(v+1)*nx], nil, s.coefEy[v*nx:(v+1)*nx])
+		}
+	}))
 	// Now tmpA rows hold Ex's x-synthesis, tmpB rows ψ's, tmpC rows Ey's.
 	// Finish along y: ψ and Ex use cosine synthesis, Ey uses sine synthesis.
-	for ix := 0; ix < nx; ix++ {
-		col := s.rowBuf[:ny]
-		out := s.rowBu2[:ny]
+	s.stats.Add(parallel.For(s.Workers, nx, func(shard, lo, hi int) {
+		ty := s.trigY[shard]
+		col := s.colBuf[shard][:ny]
+		out := s.colOut[shard][:ny]
+		for ix := lo; ix < hi; ix++ {
+			for iy := 0; iy < ny; iy++ {
+				col[iy] = s.tmpB[iy*nx+ix]
+			}
+			ty.SynthCosSin(out, nil, col)
+			for iy := 0; iy < ny; iy++ {
+				g.Psi[iy*nx+ix] = out[iy]
+			}
 
-		for iy := 0; iy < ny; iy++ {
-			col[iy] = s.tmpB[iy*nx+ix]
-		}
-		s.trigY.SynthCosSin(out, nil, col)
-		for iy := 0; iy < ny; iy++ {
-			g.Psi[iy*nx+ix] = out[iy]
-		}
+			for iy := 0; iy < ny; iy++ {
+				col[iy] = s.tmpA[iy*nx+ix]
+			}
+			ty.SynthCosSin(out, nil, col)
+			for iy := 0; iy < ny; iy++ {
+				g.Ex[iy*nx+ix] = out[iy]
+			}
 
-		for iy := 0; iy < ny; iy++ {
-			col[iy] = s.tmpA[iy*nx+ix]
+			for iy := 0; iy < ny; iy++ {
+				col[iy] = s.tmpC[iy*nx+ix]
+			}
+			ty.SynthCosSin(nil, out, col)
+			for iy := 0; iy < ny; iy++ {
+				g.Ey[iy*nx+ix] = out[iy]
+			}
 		}
-		s.trigY.SynthCosSin(out, nil, col)
-		for iy := 0; iy < ny; iy++ {
-			g.Ex[iy*nx+ix] = out[iy]
-		}
-
-		for iy := 0; iy < ny; iy++ {
-			col[iy] = s.tmpC[iy*nx+ix]
-		}
-		s.trigY.SynthCosSin(nil, out, col)
-		for iy := 0; iy < ny; iy++ {
-			g.Ey[iy*nx+ix] = out[iy]
-		}
-	}
+	}))
 }
 
 // Energy returns the total field energy ½·Σ ρ_i·ψ_i over the grid, the

@@ -85,7 +85,7 @@ func (r *Router) RouteWithMaze(maxReroutes int) *Result {
 		if path == nil {
 			// Could not route (should not happen on a connected grid);
 			// restore the pattern.
-			wl, vias := r.routeSegment(s)
+			wl, vias := r.commitSegment(s, r.chooseSegment(s))
 			wlDelta += wl - oldWL
 			viaDelta += vias - oldVias
 			continue

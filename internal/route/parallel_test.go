@@ -1,0 +1,81 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/synth"
+)
+
+// TestRouteBitwiseIdenticalAcrossWorkers: batch boundaries depend only on
+// the segment count and commits are serial in segment order, so demand maps,
+// congestion and totals must be bit-for-bit identical for every worker count.
+func TestRouteBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	run := func(workers int) *Result {
+		r := NewRouter(d, g)
+		r.Workers = workers
+		return r.Route()
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, parallel.NumShards, 0} {
+		got := run(w)
+		if math.Float64bits(got.WirelengthDBU) != math.Float64bits(ref.WirelengthDBU) {
+			t.Errorf("workers=%d: WL %v != serial %v", w, got.WirelengthDBU, ref.WirelengthDBU)
+		}
+		if got.Vias != ref.Vias || got.OverflowCells != ref.OverflowCells {
+			t.Errorf("workers=%d: vias/overflow differ from serial", w)
+		}
+		for i := range ref.Congestion {
+			if math.Float64bits(got.Congestion[i]) != math.Float64bits(ref.Congestion[i]) {
+				t.Fatalf("workers=%d: congestion[%d] differs bitwise from serial", w, i)
+			}
+		}
+		for l := range ref.Dmd {
+			for i := range ref.Dmd[l] {
+				if math.Float64bits(got.Dmd[l][i]) != math.Float64bits(ref.Dmd[l][i]) {
+					t.Fatalf("workers=%d: demand[%d][%d] differs bitwise from serial", w, l, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteWithMazeIdenticalAcrossWorkers: the maze fallback runs after the
+// batched pattern rounds and is serial, so it must not break cross-worker
+// identity.
+func TestRouteWithMazeIdenticalAcrossWorkers(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	run := func(workers int) *Result {
+		r := NewRouter(d, g)
+		r.Workers = workers
+		return r.RouteWithMaze(0)
+	}
+	ref := run(1)
+	got := run(parallel.NumShards)
+	if math.Float64bits(got.WirelengthDBU) != math.Float64bits(ref.WirelengthDBU) ||
+		got.Vias != ref.Vias {
+		t.Errorf("maze totals differ: %v/%d vs serial %v/%d",
+			got.WirelengthDBU, got.Vias, ref.WirelengthDBU, ref.Vias)
+	}
+	for i := range ref.Congestion {
+		if math.Float64bits(got.Congestion[i]) != math.Float64bits(ref.Congestion[i]) {
+			t.Fatalf("congestion[%d] differs bitwise from serial", i)
+		}
+	}
+}
+
+// TestRouteStatsAccumulate: the choice phases record their cost for the
+// telemetry speedup gauges.
+func TestRouteStatsAccumulate(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	r := NewRouter(d, g)
+	r.Route()
+	if r.Stats().Wall <= 0 || r.Stats().Busy <= 0 {
+		t.Errorf("stats not accumulated: %+v", r.Stats())
+	}
+}

@@ -5,16 +5,35 @@ import (
 	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/steiner"
 	"repro/internal/telemetry"
 )
+
+// chooseBatch is the number of segments whose candidate selection runs
+// against one frozen demand snapshot. It is a constant — never derived from
+// the worker count — so the batch boundaries, and therefore every routing
+// decision, are identical for any Workers setting.
+const chooseBatch = 256
 
 // Router performs congestion-aware pattern global routing of a design on a
 // Grid. It decomposes each net into two-pin segments with a Prim MST,
 // enumerates L- and Z-shape candidates per segment, picks the cheapest under
 // a congestion + history cost, and repeats for a few rip-up-and-reroute
 // rounds. It is deterministic for a fixed design and placement.
+//
+// Segments are routed in fixed-size batches: the candidate choice of every
+// segment in a batch reads a frozen demand snapshot (and so parallelizes
+// over the internal/parallel shard layer with disjoint writes), then the
+// chosen patterns are committed serially in segment order. Batch boundaries
+// depend only on the segment count, so results are byte-identical for every
+// worker count.
 type Router struct {
+	// Workers caps the goroutines used in the candidate-choice phase; 0
+	// selects runtime.NumCPU(), 1 runs fully serial. Any setting produces
+	// byte-identical routes.
+	Workers int
+
 	d *netlist.Design
 	g *Grid
 
@@ -41,6 +60,9 @@ type Router struct {
 	dmdV   []float64 // current vertical wire demand (2-D)
 	dmdVia []float64 // current via demand (2-D)
 	capTot []float64 // cached total capacity per G-cell
+
+	choices []int32         // per-batch chosen candidate index
+	stats   parallel.Timing // accumulated cost of the choice phases
 }
 
 // NewRouter creates a router with the default knobs.
@@ -58,12 +80,17 @@ func NewRouter(d *netlist.Design, g *Grid) *Router {
 		dmdV:      make([]float64, n),
 		dmdVia:    make([]float64, n),
 		capTot:    make([]float64, n),
+		choices:   make([]int32, chooseBatch),
 	}
 	for i := 0; i < n; i++ {
 		r.capTot[i] = g.CapTotal(i)
 	}
 	return r
 }
+
+// Stats returns the accumulated wall/busy time of the parallel
+// candidate-choice phases (telemetry: the parallel.route speedup gauge).
+func (r *Router) Stats() parallel.Timing { return r.stats }
 
 // segment is one two-pin connection in G-cell coordinates.
 type segment struct {
@@ -92,10 +119,26 @@ func (r *Router) Route() *Result {
 			r.dmdH[i], r.dmdV[i], r.dmdVia[i] = 0, 0, 0
 		}
 		wl, vias = 0, 0
-		for _, s := range segs {
-			dw, dv := r.routeSegment(s)
-			wl += dw
-			vias += dv
+		for lo := 0; lo < len(segs); lo += chooseBatch {
+			hi := lo + chooseBatch
+			if hi > len(segs) {
+				hi = len(segs)
+			}
+			batch := segs[lo:hi]
+			// Choice phase: every segment in the batch reads the same
+			// frozen demand state; writes (one choice slot per segment)
+			// are disjoint, so any worker count picks the same patterns.
+			r.stats.Add(parallel.For(r.Workers, len(batch), func(_, blo, bhi int) {
+				for i := blo; i < bhi; i++ {
+					r.choices[i] = int32(r.chooseSegment(batch[i]))
+				}
+			}))
+			// Commit phase: serial, in segment order.
+			for i, s := range batch {
+				dw, dv := r.commitSegment(s, int(r.choices[i]))
+				wl += dw
+				vias += dv
+			}
 		}
 		if round < r.Rounds-1 {
 			// Accumulate overflow history for the next round.
@@ -330,9 +373,10 @@ func (r *Router) enumerate(s segment, out []candidate) []candidate {
 	return out
 }
 
-// routeSegment picks the cheapest candidate for s, commits its demand, and
-// returns the routed wirelength in DBU and the via count added.
-func (r *Router) routeSegment(s segment) (float64, int) {
+// chooseSegment picks the cheapest candidate for s against the current
+// demand state without modifying anything — safe to call concurrently for
+// segments of one batch. It returns the candidate index for commitSegment.
+func (r *Router) chooseSegment(s segment) int {
 	var buf [2 + 2*8]candidate
 	cands := r.enumerate(s, buf[:0])
 	bestIdx, bestCost := 0, math.Inf(1)
@@ -354,7 +398,17 @@ func (r *Router) routeSegment(s segment) (float64, int) {
 			bestIdx = i
 		}
 	}
-	best := &cands[bestIdx]
+	return bestIdx
+}
+
+// commitSegment re-enumerates s, commits the demand of the chosen candidate,
+// and returns the routed wirelength in DBU and the via count added. The
+// demand increments are exact in float64, so the committed maps carry no
+// rounding dependence on the commit grouping.
+func (r *Router) commitSegment(s segment, choice int) (float64, int) {
+	var buf [2 + 2*8]candidate
+	cands := r.enumerate(s, buf[:0])
+	best := &cands[choice]
 	var wl float64
 	for k := 0; k < best.nRuns; k++ {
 		run := best.runs[k]

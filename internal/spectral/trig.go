@@ -48,6 +48,18 @@ func NewTrig(n int) *Trig {
 // Len returns the plan length.
 func (t *Trig) Len() int { return t.n }
 
+// Clone returns a plan usable concurrently with t: the FFT plan and the
+// phase tables (all read-only after construction) are shared, only the
+// private scratch is reallocated. AnalyzeCos/SynthCosSin mutate scratch,
+// so one Trig must never be used from two goroutines — one clone per
+// worker shard is the intended pattern.
+func (t *Trig) Clone() *Trig {
+	c := *t
+	c.re = make([]float64, 2*t.n)
+	c.im = make([]float64, 2*t.n)
+	return &c
+}
+
 // AnalyzeCos writes the DCT-II of f into dst (both length n). dst and f may
 // alias.
 func (t *Trig) AnalyzeCos(dst, f []float64) {

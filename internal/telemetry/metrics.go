@@ -111,15 +111,20 @@ func bucketOf(v float64) int {
 }
 
 // Metric is one exported metric point. Kind is "counter", "gauge" or
-// "histogram"; the summary fields are populated per kind.
+// "histogram"; the summary fields are populated per kind. Volatile marks
+// metrics carrying wall-clock or environment-dependent content (speedups,
+// worker counts, machine facts): they are excluded from the determinism
+// contract — StripTimings removes them from canonical traces and baseline
+// comparison tooling must skip them.
 type Metric struct {
-	Name  string  `json:"name"`
-	Kind  string  `json:"kind"`
-	Value float64 `json:"value"`           // counter count / gauge value / histogram mean
-	Count int64   `json:"count,omitempty"` // histogram only
-	Sum   float64 `json:"sum,omitempty"`   // histogram only
-	Min   float64 `json:"min,omitempty"`   // histogram only
-	Max   float64 `json:"max,omitempty"`   // histogram only
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Value    float64 `json:"value"`           // counter count / gauge value / histogram mean
+	Count    int64   `json:"count,omitempty"` // histogram only
+	Sum      float64 `json:"sum,omitempty"`   // histogram only
+	Min      float64 `json:"min,omitempty"`   // histogram only
+	Max      float64 `json:"max,omitempty"`   // histogram only
+	Volatile bool    `json:"volatile,omitempty"`
 }
 
 // Registry is a get-or-create store of named metrics. Accessors are
@@ -131,6 +136,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	volatile map[string]bool // names registered via VolatileGauge
 }
 
 // NewRegistry returns an empty registry.
@@ -139,6 +145,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		volatile: map[string]bool{},
 	}
 }
 
@@ -172,6 +179,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// VolatileGauge returns the named gauge, creating it on first use and
+// marking it volatile: its value carries wall-clock or environment content
+// (a measured speedup, a worker count) and is therefore excluded from the
+// determinism contract. Snapshot flags it, Observer.Flush emits the flag,
+// and StripTimings drops it from canonical traces.
+func (r *Registry) VolatileGauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.Gauge(name)
+	r.mu.Lock()
+	r.volatile[name] = true
+	r.mu.Unlock()
+	return g
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
@@ -202,7 +225,8 @@ func (r *Registry) Snapshot() []Metric {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
 	}
 	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value(),
+			Volatile: r.volatile[name]})
 	}
 	for name, h := range r.hists {
 		h.mu.Lock()

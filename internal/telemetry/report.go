@@ -29,6 +29,10 @@ type Event struct {
 	Sum    float64            `json:"sum,omitempty"`
 	Min    float64            `json:"min,omitempty"`
 	Max    float64            `json:"max,omitempty"`
+	// Volatile marks metric events excluded from the determinism
+	// contract (speedups, worker counts); the report surfaces them with
+	// a marker instead of dropping them.
+	Volatile bool `json:"volatile,omitempty"`
 }
 
 // Trace is a fully parsed trace file.
@@ -204,13 +208,23 @@ func (t *Trace) WriteReport(w io.Writer) {
 	if len(t.Metrics) > 0 {
 		fmt.Fprintf(w, "\nMetrics\n")
 		for _, m := range t.Metrics {
+			kind := m.Kind
+			if m.Volatile {
+				// Worker counts, measured speedups and other
+				// machine-dependent gauges: shown, but flagged as outside
+				// the determinism contract.
+				kind += "*"
+			}
 			switch m.Kind {
 			case "histogram":
 				fmt.Fprintf(w, "  %-34s %-9s n=%-7d mean=%-11s min=%-11s max=%s\n",
-					m.Name, m.Kind, m.Count, fmtVal(m.Value), fmtVal(m.Min), fmtVal(m.Max))
+					m.Name, kind, m.Count, fmtVal(m.Value), fmtVal(m.Min), fmtVal(m.Max))
 			default:
-				fmt.Fprintf(w, "  %-34s %-9s %s\n", m.Name, m.Kind, fmtVal(m.Value))
+				fmt.Fprintf(w, "  %-34s %-9s %s\n", m.Name, kind, fmtVal(m.Value))
 			}
+		}
+		if hasVolatile(t.Metrics) {
+			fmt.Fprintf(w, "  (* volatile: wall-clock/environment metric, excluded from canonical traces)\n")
 		}
 	}
 }
@@ -254,11 +268,21 @@ func fmtVal(v float64) string {
 	return fmt.Sprintf("%.4g", v)
 }
 
+func hasVolatile(ms []Event) bool {
+	for _, m := range ms {
+		if m.Volatile {
+			return true
+		}
+	}
+	return false
+}
+
 // StripTimings canonicalizes a JSONL trace for run-to-run comparison:
-// it removes the "dur_us" field from span_end events and drops "timing"
-// events entirely (the only wall-clock content in a trace), re-encoding
-// every remaining event with sorted keys. Two runs of the same
-// deterministic placement must produce byte-identical canonical traces.
+// it removes the "dur_us" field from span_end events, drops "timing"
+// events entirely, and drops metric events flagged "volatile" (the only
+// wall-clock/environment content in a trace), re-encoding every remaining
+// event with sorted keys. Two runs of the same deterministic placement —
+// at ANY worker count — must produce byte-identical canonical traces.
 func StripTimings(trace []byte) ([]byte, error) {
 	var out bytes.Buffer
 	sc := bufio.NewScanner(bytes.NewReader(trace))
@@ -275,6 +299,9 @@ func StripTimings(trace []byte) ([]byte, error) {
 			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
 		}
 		if m["ev"] == "timing" {
+			continue
+		}
+		if m["ev"] == "metric" && m["volatile"] == true {
 			continue
 		}
 		delete(m, "dur_us")

@@ -5,9 +5,13 @@
 //
 // Determinism contract: for a fixed design, mode and options, two runs
 // produce byte-identical event streams apart from wall-clock content —
-// the "dur_us" field of span_end events and events of kind "timing".
-// StripTimings canonicalizes a trace by removing exactly those, which is
-// what the determinism tests (and any trace-diffing tooling) compare.
+// the "dur_us" field of span_end events, events of kind "timing", and
+// metric events flagged "volatile" (measured speedups, worker counts and
+// other machine facts, registered via VolatileGauge). StripTimings
+// canonicalizes a trace by removing exactly those, which is what the
+// determinism tests (and any trace-diffing tooling) compare. The parallel
+// execution layer extends the contract across worker counts: the same
+// run at any -workers setting yields the same canonical trace.
 //
 // Everything is stdlib-only and inert when disabled: a nil *Observer, nil
 // *Tracer, nil *Span and nil metric handles are all safe to call and do
@@ -95,6 +99,15 @@ func (o *Observer) Gauge(name string) *Gauge {
 	return o.Metrics.Gauge(name)
 }
 
+// VolatileGauge resolves a named volatile gauge (wall-clock/environment
+// content, excluded from canonical traces). Nil handle when o is nil.
+func (o *Observer) VolatileGauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.VolatileGauge(name)
+}
+
 // Histogram resolves a named histogram (nil handle when o is nil).
 func (o *Observer) Histogram(name string) *Histogram {
 	if o == nil {
@@ -171,6 +184,9 @@ func (o *Observer) Flush() error {
 				e.f64("min", m.Min)
 				e.f64("max", m.Max)
 			}
+			if m.Volatile {
+				e.boolean("volatile", true)
+			}
 		})
 	}
 	return o.err
@@ -242,6 +258,11 @@ func (e *eventWriter) num(k string, v int64) {
 func (e *eventWriter) f64(k string, v float64) {
 	e.key(k)
 	writeFloat(e.buf, v)
+}
+
+func (e *eventWriter) boolean(k string, v bool) {
+	e.key(k)
+	e.buf.WriteString(strconv.FormatBool(v))
 }
 
 func (e *eventWriter) fieldObj(k string, fields []Field) {

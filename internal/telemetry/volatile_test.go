@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVolatileGaugeFlaggedInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.VolatileGauge("parallel.route.speedup").Set(3.7)
+	r.Gauge("place.hpwl_final").Set(123)
+	byName := map[string]Metric{}
+	for _, m := range r.Snapshot() {
+		byName[m.Name] = m
+	}
+	if !byName["parallel.route.speedup"].Volatile {
+		t.Errorf("volatile gauge not flagged in snapshot")
+	}
+	if byName["place.hpwl_final"].Volatile {
+		t.Errorf("plain gauge flagged volatile")
+	}
+	// Re-resolving the same name through Gauge keeps the flag.
+	r.Gauge("parallel.route.speedup").Set(4.1)
+	for _, m := range r.Snapshot() {
+		if m.Name == "parallel.route.speedup" && !m.Volatile {
+			t.Errorf("volatile flag lost after plain Gauge resolution")
+		}
+	}
+}
+
+func TestStripTimingsDropsVolatileMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	obs := NewObserver(&buf)
+	obs.Gauge("place.hpwl_final").Set(42)
+	obs.VolatileGauge("parallel.workers").Set(8)
+	obs.VolatileGauge("parallel.route.speedup").Set(3.2)
+	if err := obs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.Contains(raw, `"volatile":true`) {
+		t.Fatalf("flush did not emit the volatile flag:\n%s", raw)
+	}
+	canon, err := StripTimings(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(canon)
+	if strings.Contains(s, "parallel.workers") || strings.Contains(s, "speedup") {
+		t.Errorf("canonical trace still contains volatile metrics:\n%s", s)
+	}
+	if !strings.Contains(s, "place.hpwl_final") {
+		t.Errorf("canonical trace lost a non-volatile metric:\n%s", s)
+	}
+}
+
+func TestReportMarksVolatileMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	obs := NewObserver(&buf)
+	obs.VolatileGauge("parallel.density.speedup").Set(2.5)
+	obs.Counter("route.calls").Inc()
+	if err := obs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	tr.WriteReport(&out)
+	rep := out.String()
+	if !strings.Contains(rep, "parallel.density.speedup") {
+		t.Errorf("report dropped a volatile gauge:\n%s", rep)
+	}
+	if !strings.Contains(rep, "gauge*") || !strings.Contains(rep, "excluded from canonical traces") {
+		t.Errorf("report does not mark volatile metrics:\n%s", rep)
+	}
+}
+
+func TestVolatileGaugeNilSafety(t *testing.T) {
+	var r *Registry
+	r.VolatileGauge("x").Set(1) // must not panic
+	var o *Observer
+	o.VolatileGauge("y").Set(2) // must not panic
+}

@@ -1,0 +1,69 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/parallel"
+)
+
+// meshDesign builds a design with many nets of mixed degree so the shard
+// decomposition is exercised with uneven per-net work.
+func meshDesign(t testing.TB) *netlist.Design {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	b := netlist.NewBuilder("mesh", geom.NewRect(0, 0, 1000, 1000), 8, 1)
+	const cells = 400
+	for i := 0; i < cells; i++ {
+		b.AddCell("c", netlist.StdCell, rng.Float64()*1000, rng.Float64()*1000, 2, 8)
+	}
+	for e := 0; e < 700; e++ {
+		n := b.AddNet("n", 1)
+		deg := 2 + rng.Intn(7)
+		for k := 0; k < deg; k++ {
+			b.Connect(rng.Intn(cells), n, 0, 0)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestEvaluateBitwiseIdenticalAcrossWorkers: the shard reduction tree
+// depends only on the net count, so WA total and gradient must be
+// bit-for-bit identical for every worker count.
+func TestEvaluateBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	d := meshDesign(t)
+	run := func(workers int) (float64, []float64) {
+		m := New(d, 4.0)
+		m.Workers = workers
+		grad := make([]float64, 2*len(d.Cells))
+		wa := m.EvaluateWithGrad(grad)
+		return wa, grad
+	}
+	refWA, refGrad := run(1)
+	for _, w := range []int{2, 3, parallel.NumShards, 0} {
+		wa, grad := run(w)
+		if math.Float64bits(wa) != math.Float64bits(refWA) {
+			t.Errorf("workers=%d: WA %v != serial %v (bitwise)", w, wa, refWA)
+		}
+		for i := range grad {
+			if math.Float64bits(grad[i]) != math.Float64bits(refGrad[i]) {
+				t.Fatalf("workers=%d: grad[%d] differs bitwise from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestEvaluateStatsAccumulate: evaluations record the cost of the parallel
+// section for the telemetry speedup gauges.
+func TestEvaluateStatsAccumulate(t *testing.T) {
+	d := meshDesign(t)
+	m := New(d, 4.0)
+	m.Evaluate()
+	m.Evaluate()
+	if m.Stats().Wall <= 0 || m.Stats().Busy <= 0 {
+		t.Errorf("stats not accumulated: %+v", m.Stats())
+	}
+}

@@ -2,22 +2,38 @@
 // (Hsu, Chang, Balabanov, DAC 2011) used as the smooth HPWL surrogate in the
 // placement objective (paper Sec. II-A), together with its analytic gradient
 // and the overflow-driven smoothing-parameter (γ) schedule of ePlace.
+//
+// Evaluation is net-parallel over the internal/parallel shard layer: each
+// shard accumulates its nets' WA total and scatter-adds gradients into a
+// shard-private buffer, and the shards are merged in fixed index order —
+// so the result is byte-identical for every worker count.
 package wirelength
 
 import (
 	"math"
 
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 )
 
 // Model evaluates WA wirelength and its gradient for a fixed design. The
 // gamma parameter controls smoothness: WA → HPWL as γ → 0.
 type Model struct {
+	// Workers caps the goroutines used per evaluation; 0 selects
+	// runtime.NumCPU(), 1 runs fully serial. Results are byte-identical
+	// for any setting (deterministic shard reduction).
+	Workers int
+
 	d     *netlist.Design
 	gamma float64
 
-	// scratch per evaluation, sized to the max net degree
-	ex, en []float64
+	// Per-shard state: gradient accumulators (merged in shard order) and
+	// exponential scratch sized to the max net degree.
+	shardGrad [][]float64
+	shardEx   [parallel.NumShards][]float64
+	shardEn   [parallel.NumShards][]float64
+
+	stats parallel.Timing
 }
 
 // New creates a WA model with an initial γ proportional to the given
@@ -29,7 +45,13 @@ func New(d *netlist.Design, gamma float64) *Model {
 			maxDeg = deg
 		}
 	}
-	return &Model{d: d, gamma: gamma, ex: make([]float64, maxDeg), en: make([]float64, maxDeg)}
+	m := &Model{d: d, gamma: gamma}
+	m.shardGrad = parallel.NewShards(2 * len(d.Cells))
+	for s := 0; s < parallel.NumShards; s++ {
+		m.shardEx[s] = make([]float64, maxDeg)
+		m.shardEn[s] = make([]float64, maxDeg)
+	}
+	return m
 }
 
 // Gamma returns the current smoothing parameter.
@@ -37,6 +59,10 @@ func (m *Model) Gamma() float64 { return m.gamma }
 
 // SetGamma overrides the smoothing parameter directly.
 func (m *Model) SetGamma(g float64) { m.gamma = g }
+
+// Stats returns the accumulated wall/busy time of the net-parallel
+// evaluations (telemetry: the parallel.wirelength speedup gauge).
+func (m *Model) Stats() parallel.Timing { return m.stats }
 
 // UpdateGamma applies the ePlace overflow schedule: γ = base·10^(k·ovf + b)
 // with k, b chosen so overflow 1.0 gives 10·base and overflow 0.1 gives
@@ -55,25 +81,44 @@ func (m *Model) UpdateGamma(base, overflow float64) {
 // laid out [gx0, gy0, gx1, gy1, ...]. Gradients are accumulated (callers
 // zero the slice when they need a fresh gradient); entries for fixed cells
 // are accumulated too and it is the caller's choice to ignore them.
+//
+// Nets are processed shard-parallel; per-cell contributions land in the
+// fixed net-index order regardless of the worker count.
 func (m *Model) EvaluateWithGrad(grad []float64) float64 {
 	d := m.d
 	if grad != nil && len(grad) != 2*len(d.Cells) {
 		panic("wirelength: gradient length mismatch")
 	}
-	var total float64
-	for e := range d.Nets {
-		net := &d.Nets[e]
-		if net.Degree() < 2 {
-			continue
-		}
-		w := net.Weight
-		if w == 0 {
-			w = 1
-		}
-		total += w * m.netWA(net, grad, w, axisX)
-		total += w * m.netWA(net, grad, w, axisY)
+	if grad != nil {
+		parallel.ZeroFloats(m.shardGrad)
 	}
-	return total
+	var parts [parallel.NumShards]float64
+	m.stats.Add(parallel.For(m.Workers, len(d.Nets), func(shard, lo, hi int) {
+		var sg []float64
+		if grad != nil {
+			sg = m.shardGrad[shard]
+		}
+		coords := m.shardEx[shard]
+		expP := m.shardEn[shard]
+		var total float64
+		for e := lo; e < hi; e++ {
+			net := &d.Nets[e]
+			if net.Degree() < 2 {
+				continue
+			}
+			w := net.Weight
+			if w == 0 {
+				w = 1
+			}
+			total += w * m.netWA(net, sg, w, axisX, coords, expP)
+			total += w * m.netWA(net, sg, w, axisY, coords, expP)
+		}
+		parts[shard] = total
+	}))
+	if grad != nil {
+		parallel.MergeFloats(grad, m.shardGrad)
+	}
+	return parallel.SumShards(&parts)
 }
 
 // Evaluate returns the total WA wirelength without gradients.
@@ -87,12 +132,14 @@ const (
 )
 
 // netWA computes the WA length of one net along one axis and accumulates the
-// (weighted) gradient. The max/min-shifted exponentials keep the computation
-// stable for any coordinate magnitude.
-func (m *Model) netWA(net *netlist.Net, grad []float64, w float64, ax axis) float64 {
+// (weighted) gradient into grad (shard-private; nil skips gradients). The
+// max/min-shifted exponentials keep the computation stable for any
+// coordinate magnitude. coords and expP are caller-provided scratch sized
+// to at least the net degree.
+func (m *Model) netWA(net *netlist.Net, grad []float64, w float64, ax axis, coords, expP []float64) float64 {
 	d := m.d
 	n := len(net.Pins)
-	coords := m.ex[:n]
+	coords = coords[:n]
 	for k, pi := range net.Pins {
 		p := d.PinPos(pi)
 		if ax == axisX {
@@ -113,7 +160,7 @@ func (m *Model) netWA(net *netlist.Net, grad []float64, w float64, ax axis) floa
 	g := m.gamma
 	// Positive side (max approximation), shifted by hi.
 	// Negative side (min approximation), shifted by lo.
-	expP := m.en[:n]
+	expP = expP[:n]
 	var sP, sxP, sN, sxN float64
 	for k, c := range coords {
 		ep := math.Exp((c - hi) / g)
