@@ -13,9 +13,27 @@
 //	                   registry after the run
 //	-pprof addr        serve net/http/pprof at addr (e.g. localhost:6060)
 //	                   for live CPU/heap profiling of long runs
+//
+// Checkpoint/resume flags:
+//
+//	-checkpoint f      write the run state to f: at the -checkpoint-after
+//	                   point, or at the last consistent pipeline position
+//	                   when the run is cancelled (-timeout, Ctrl-C → the
+//	                   context path)
+//	-checkpoint-after p  stop once pipeline point p completes ("setup",
+//	                   "wirelength", "routability", "legalize", "detailed"
+//	                   or "route_iter:K"); exits 0 with the state saved
+//	-resume            continue the run saved in -checkpoint instead of
+//	                   starting fresh (same -design; the checkpoint is
+//	                   authoritative for the run-defining options)
+//	-timeout d         cancel the run after duration d (e.g. 30s)
+//	-out f             write the final placement to f in the designio
+//	                   text format (only on a completed run)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -23,6 +41,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/designio"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
@@ -40,6 +59,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL telemetry trace to this file (- for stdout)")
 	metrics := flag.Bool("metrics", false, "print stage timings and the metrics registry")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof at this address")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file path (enables checkpoint on cancellation)")
+	ckptAfter := flag.String("checkpoint-after", "", "stop after this pipeline point and write the checkpoint")
+	resume := flag.Bool("resume", false, "resume the run saved in -checkpoint")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	outPath := flag.String("out", "", "write the final placement to this file (designio format)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -50,6 +74,10 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	d, err := synth.Generate(*design)
 	if err != nil {
@@ -57,7 +85,8 @@ func main() {
 		os.Exit(1)
 	}
 	opt := core.Options{GridHint: *grid, MaxRouteIters: *riters, Workers: *workers,
-		Tech: core.Techniques{MCI: *mci, DC: *dc, DPA: *dpa}}
+		Tech:           core.Techniques{MCI: *mci, DC: *dc, DPA: *dpa},
+		CheckpointPath: *ckptPath, CheckpointAfter: *ckptAfter}
 	switch *mode {
 	case "xplace":
 		opt.Mode = core.ModeWirelength
@@ -94,8 +123,49 @@ func main() {
 	}
 	opt.Observer = obs
 
-	res, err := core.Place(d, opt)
-	if err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var res *core.Result
+	if *resume {
+		ckf, ferr := os.Open(*ckptPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		res, err = core.ResumeContext(ctx, d, ckf, opt)
+		ckf.Close()
+	} else {
+		res, err = core.PlaceContext(ctx, d, opt)
+	}
+	closeTrace := func() {
+		if traceFile != nil {
+			if cerr := traceFile.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", cerr)
+			}
+		}
+	}
+	switch {
+	case errors.Is(err, core.ErrCheckpointed):
+		// Scheduled stop: the trace stream stays un-flushed (no metric dump)
+		// so the resumed run's events concatenate into one continuous trace.
+		closeTrace()
+		fmt.Fprintf(os.Stderr, "checkpointed at %q: state written to %s\n",
+			*ckptAfter, *ckptPath)
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		closeTrace()
+		fmt.Fprintf(os.Stderr, "run cancelled (%v) after %.2fs", err, res.PlaceTime.Seconds())
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "; state written to %s — rerun with -resume to continue", *ckptPath)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(3)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -104,9 +174,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		}
 	}
-	if traceFile != nil {
-		if err := traceFile.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+	closeTrace()
+
+	if *outPath != "" {
+		f, ferr := os.Create(*outPath)
+		if ferr == nil {
+			ferr = designio.Write(f, d)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "out: %v\n", ferr)
+			os.Exit(1)
 		}
 	}
 

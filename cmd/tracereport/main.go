@@ -4,13 +4,20 @@
 // snapshot series (density overflow, overflow score, λ₁, λ₂, γ, inflation
 // ratios, …) and the final metrics dump.
 //
+// With -canon the trace is instead canonicalized (telemetry.StripTimings:
+// durations, timing events and volatile metrics removed) and written to
+// stdout verbatim — two runs of the same deterministic placement produce
+// byte-identical -canon output, which the CI interrupt-resume job diffs.
+//
 // Usage:
 //
 //	go run ./cmd/tracereport out.jsonl
+//	go run ./cmd/tracereport -canon out.jsonl
 //	go run ./cmd/placer -design fft_1 -trace - | go run ./cmd/tracereport -
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -19,19 +26,39 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "--help" {
-		fmt.Fprintln(os.Stderr, "usage: tracereport <trace.jsonl | ->")
+	canon := flag.Bool("canon", false, "emit the canonical (timing-stripped) trace instead of a report")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-canon] <trace.jsonl | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin
-	if os.Args[1] != "-" {
-		f, err := os.Open(os.Args[1])
+	if flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer f.Close()
 		in = f
+	}
+	if *canon {
+		raw, err := io.ReadAll(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := telemetry.StripTimings(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		return
 	}
 	tr, err := telemetry.ReadTrace(in)
 	if err != nil {

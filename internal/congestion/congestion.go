@@ -116,6 +116,37 @@ func (m *Model) SolverStats() parallel.Timing { return m.solver.Stats() }
 // Ready reports whether Update has been called at least once.
 func (m *Model) Ready() bool { return m.res != nil }
 
+// State returns deep copies of the utilization and congestion maps of the
+// last Update (nil, nil before the first Update). Together with the grid —
+// which is a pure function of the design — they are the model's complete
+// serializable state: the potential field is re-derived from them.
+func (m *Model) State() (util, congestion []float64) {
+	if m.res == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), m.res.Util...),
+		append([]float64(nil), m.res.Congestion...)
+}
+
+// Restore rebuilds the model as if Update had been called with a routing
+// result carrying these maps: the Poisson solve is re-run, which is a pure
+// deterministic function of util, so the restored potential and field are
+// bitwise-identical to the ones the snapshotted model held.
+func (m *Model) Restore(util, congestion []float64) {
+	n := m.g.NX * m.g.NY
+	if len(util) != n || len(congestion) != n {
+		panic("congestion: restore map length mismatch")
+	}
+	m.res = &route.Result{
+		Grid:       m.g,
+		Util:       append([]float64(nil), util...),
+		Congestion: append([]float64(nil), congestion...),
+	}
+	copy(m.rho, util)
+	m.solver.Workers = m.Workers
+	m.solver.Solve(m.rho, m.field)
+}
+
 // sample bilinearly interpolates a field array at die coordinates (x, y).
 func (m *Model) sample(f []float64, x, y float64) float64 {
 	fx := (x-m.g.Die.Lo.X)/m.g.CellW - 0.5

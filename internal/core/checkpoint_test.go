@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// TestOptionsSentinelDefaults covers the zero-value trap fix: 0 selects the
+// documented default, negative selects the literal zero.
+func TestOptionsSentinelDefaults(t *testing.T) {
+	var o Options
+	o.setDefaults(100)
+	if o.WLOverflowStop != 0.12 {
+		t.Errorf("zero WLOverflowStop → %v, want default 0.12", o.WLOverflowStop)
+	}
+	if o.CongestionPatience != 4 {
+		t.Errorf("zero CongestionPatience → %v, want default 4", o.CongestionPatience)
+	}
+	o2 := Options{WLOverflowStop: -1, CongestionPatience: -1}
+	o2.setDefaults(100)
+	if o2.WLOverflowStop != 0 {
+		t.Errorf("negative WLOverflowStop → %v, want literal 0", o2.WLOverflowStop)
+	}
+	if o2.CongestionPatience != 0 {
+		t.Errorf("negative CongestionPatience → %v, want literal 0", o2.CongestionPatience)
+	}
+}
+
+func TestValidateCheckpointOpts(t *testing.T) {
+	for _, good := range []string{"", "setup", "wirelength", "routability",
+		"legalize", "detailed", "route_iter:0", "route_iter:17"} {
+		opt := Options{CheckpointAfter: good, CheckpointPath: "x"}
+		if err := validateCheckpointOpts(&opt); err != nil {
+			t.Errorf("point %q rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"eval", "route_iter:", "route_iter:-1",
+		"route_iter:x", "phase1"} {
+		opt := Options{CheckpointAfter: bad, CheckpointPath: "x"}
+		if err := validateCheckpointOpts(&opt); err == nil {
+			t.Errorf("point %q accepted, want error", bad)
+		}
+	}
+	opt := Options{CheckpointAfter: "wirelength"}
+	if err := validateCheckpointOpts(&opt); err == nil {
+		t.Error("CheckpointAfter without CheckpointPath accepted, want error")
+	}
+}
+
+// checkpointAt runs the design with a scheduled checkpoint and returns the
+// checkpoint file path and the (un-flushed) trace of the first half.
+func checkpointAt(t *testing.T, design, point string, obs *telemetry.Observer) string {
+	t.Helper()
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt")
+	d := synth.MustGenerate(design)
+	opt := fastOpts(ModeOurs)
+	opt.Workers = 1
+	opt.Observer = obs
+	opt.CheckpointPath = ckPath
+	opt.CheckpointAfter = point
+	_, err := Place(d, opt)
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("Place with CheckpointAfter=%q returned %v, want ErrCheckpointed", point, err)
+	}
+	return ckPath
+}
+
+// TestCheckpointRoundTrip: parse a real mid-loop checkpoint (GP state, loop
+// state, congestion state, telemetry — every section populated) and write it
+// back; the serialization must be byte-identical.
+func TestCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement run; skipped in -short")
+	}
+	var trace bytes.Buffer
+	ckPath := checkpointAt(t, "tiny_hot", "route_iter:1", telemetry.NewObserver(&trace))
+	raw, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := readCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.HasGP || !ck.HasLoop || !ck.HasCong || ck.Tel == nil {
+		t.Fatalf("mid-loop checkpoint misses sections: gp=%v loop=%v cong=%v tel=%v",
+			ck.HasGP, ck.HasLoop, ck.HasCong, ck.Tel != nil)
+	}
+	var rewritten bytes.Buffer
+	if err := writeCheckpoint(&rewritten, ck); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, rewritten.Bytes()) {
+		a := strings.Split(string(raw), "\n")
+		b := strings.Split(string(rewritten.Bytes()), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("write→read→write differs at line %d:\n  first:  %.120s\n  second: %.120s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("write→read→write differs in length: %d vs %d lines", len(a), len(b))
+	}
+}
+
+// TestScheduledCheckpointResume is the tentpole acceptance test: stop at a
+// scheduled point, resume in a fresh process state (fresh design object,
+// fresh Observer), and require the final placement, congestion history,
+// result summary AND the concatenated canonical telemetry trace to be
+// byte-identical to an uninterrupted run.
+func TestScheduledCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	for _, tc := range []struct{ design, point string }{
+		{"tiny_hot", "wirelength"},
+		{"tiny_hot", "route_iter:2"},
+		{"tiny_open", "wirelength"},
+	} {
+		tc := tc
+		t.Run(tc.design+"/"+tc.point, func(t *testing.T) {
+			refRes, refPos, refTrace := placeRun(t, tc.design, 1)
+
+			var buf1 bytes.Buffer
+			ckPath := checkpointAt(t, tc.design, tc.point, telemetry.NewObserver(&buf1))
+			// No Flush on the first half: the stream must stop exactly at the
+			// checkpoint so the resumed half continues it.
+
+			var buf2 bytes.Buffer
+			obs2 := telemetry.NewObserver(&buf2)
+			d := synth.MustGenerate(tc.design) // fresh design: positions come from the checkpoint
+			ckf, err := os.Open(ckPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ResumeContext(context.Background(), d, ckf, Options{Workers: 1, Observer: obs2})
+			ckf.Close()
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if err := obs2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := range d.Cells {
+				if math.Float64bits(d.Cells[i].X) != math.Float64bits(refPos[2*i]) ||
+					math.Float64bits(d.Cells[i].Y) != math.Float64bits(refPos[2*i+1]) {
+					t.Fatalf("cell %d position (%v,%v) differs from uninterrupted (%v,%v)",
+						i, d.Cells[i].X, d.Cells[i].Y, refPos[2*i], refPos[2*i+1])
+				}
+			}
+			if res.WLIters != refRes.WLIters || res.RouteIters != refRes.RouteIters ||
+				res.HPWLFinal != refRes.HPWLFinal || res.FinalOverflow != refRes.FinalOverflow ||
+				res.Metrics != refRes.Metrics {
+				t.Errorf("result summary differs:\n  uninterrupted: %+v %+v\n  resumed:       %+v %+v",
+					refRes.Metrics, *refRes, res.Metrics, *res)
+			}
+			if len(res.CongestionHistory) != len(refRes.CongestionHistory) {
+				t.Fatalf("congestion history length %d != %d", len(res.CongestionHistory), len(refRes.CongestionHistory))
+			}
+			for i := range refRes.CongestionHistory {
+				if math.Float64bits(res.CongestionHistory[i]) != math.Float64bits(refRes.CongestionHistory[i]) {
+					t.Errorf("congestion history[%d] %v != %v", i, res.CongestionHistory[i], refRes.CongestionHistory[i])
+				}
+			}
+
+			concat := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+			canon, err := telemetry.StripTimings(concat)
+			if err != nil {
+				t.Fatalf("concatenated trace does not canonicalize: %v", err)
+			}
+			if !bytes.Equal(canon, refTrace) {
+				a := strings.Split(string(refTrace), "\n")
+				b := strings.Split(string(canon), "\n")
+				for i := 0; i < len(a) && i < len(b); i++ {
+					if a[i] != b[i] {
+						t.Fatalf("canonical traces diverge at line %d:\n  uninterrupted: %.200s\n  resumed:       %.200s",
+							i+1, a[i], b[i])
+					}
+				}
+				t.Fatalf("canonical traces differ in length: %d vs %d lines", len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestResumeRejectsMismatches: the checkpoint is authoritative; a wrong
+// design or conflicting options must be refused up front.
+func TestResumeRejectsMismatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement run; skipped in -short")
+	}
+	ckPath := checkpointAt(t, "tiny_hot", "wirelength", nil)
+	read := func() []byte {
+		raw, err := os.ReadFile(ckPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	// Wrong design.
+	other := synth.MustGenerate("tiny_open")
+	if _, err := ResumeContext(context.Background(), other, bytes.NewReader(read()), Options{}); err == nil {
+		t.Error("resume on a different design accepted, want error")
+	}
+	// Conflicting run-defining option.
+	d := synth.MustGenerate("tiny_hot")
+	if _, err := ResumeContext(context.Background(), d, bytes.NewReader(read()), Options{MaxWLIters: 7}); err == nil {
+		t.Error("resume with conflicting MaxWLIters accepted, want error")
+	}
+	// Matching explicit options are fine; design is restored and completes.
+	opt := fastOpts(ModeOurs)
+	opt.Workers = 1
+	if _, err := ResumeContext(context.Background(), d, bytes.NewReader(read()), opt); err != nil {
+		t.Errorf("resume with matching explicit options failed: %v", err)
+	}
+	// Truncated checkpoint.
+	raw := read()
+	if _, err := readCheckpoint(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated checkpoint accepted, want error")
+	}
+}
+
+// cancelOnLog cancels a context the first time a log line containing the
+// trigger substring is written — a deterministic way to land a cancellation
+// inside a specific pipeline phase.
+type cancelOnLog struct {
+	cancel  context.CancelFunc
+	trigger string
+	fired   bool
+}
+
+func (c *cancelOnLog) Write(p []byte) (int, error) {
+	if !c.fired && strings.Contains(string(p), c.trigger) {
+		c.fired = true
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestCancellation drops a cancellation into each phase of the pipeline —
+// the wirelength loop, a routability iteration, legalization — and requires
+// PlaceContext to return ctx.Err() promptly with a valid checkpoint on
+// disk, from which a resumed run reproduces the uninterrupted final
+// placement bit-for-bit. It also watches for leaked goroutines: every
+// parallel kernel must join its workers even on the cancellation path.
+func TestCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	refD := synth.MustGenerate("tiny_hot")
+	refOpt := fastOpts(ModeOurs)
+	refOpt.Workers = 1
+	refRes, err := Place(refD, refOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	for _, tc := range []struct{ name, trigger string }{
+		{"wirelength", "phase 1:"},
+		{"route_iter", "route iter 1:"},
+		{"legalize", "legalizing"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ckPath := filepath.Join(t.TempDir(), "cancel.ckpt")
+			d := synth.MustGenerate("tiny_hot")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opt := fastOpts(ModeOurs)
+			opt.Workers = 2 // exercise the parallel kernels' cancellation path
+			opt.CheckpointPath = ckPath
+			opt.Log = &cancelOnLog{cancel: cancel, trigger: tc.trigger}
+			res, err := PlaceContext(ctx, d, opt)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("PlaceContext returned %v, want context.Canceled", err)
+			}
+			if res == nil {
+				t.Fatal("cancelled run returned no partial result")
+			}
+
+			ckf, err := os.Open(ckPath)
+			if err != nil {
+				t.Fatalf("no checkpoint written on cancellation: %v", err)
+			}
+			ck, err := readCheckpoint(ckf)
+			ckf.Close()
+			if err != nil {
+				t.Fatalf("cancellation checkpoint does not parse: %v", err)
+			}
+			t.Logf("cancelled at cursor %s/%d/%d", ck.Cur.stage, ck.Cur.iter, ck.Cur.step)
+
+			ckf, err = os.Open(ckPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := ResumeContext(context.Background(), d, ckf, Options{Workers: 1})
+			ckf.Close()
+			if err != nil {
+				t.Fatalf("resume after cancellation: %v", err)
+			}
+			for i := range d.Cells {
+				if math.Float64bits(d.Cells[i].X) != math.Float64bits(refD.Cells[i].X) ||
+					math.Float64bits(d.Cells[i].Y) != math.Float64bits(refD.Cells[i].Y) {
+					t.Fatalf("cell %d position (%v,%v) differs from uninterrupted (%v,%v)",
+						i, d.Cells[i].X, d.Cells[i].Y, refD.Cells[i].X, refD.Cells[i].Y)
+				}
+			}
+			if res2.HPWLFinal != refRes.HPWLFinal || res2.Metrics != refRes.Metrics ||
+				res2.RouteIters != refRes.RouteIters {
+				t.Errorf("resumed result differs from uninterrupted:\n  uninterrupted: %+v\n  resumed:       %+v",
+					*refRes, *res2)
+			}
+		})
+	}
+
+	// Goroutine accounting: allow the runtime a moment to retire workers,
+	// then require the count back near the pre-test baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d before cancellation tests", runtime.NumGoroutine(), baseline)
+}

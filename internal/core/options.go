@@ -79,6 +79,12 @@ type Techniques struct {
 func AllTechniques() Techniques { return Techniques{MCI: true, DC: true, DPA: true} }
 
 // Options configures a placement run.
+//
+// Sentinel convention: for every numeric option whose zero value is itself a
+// meaningful setting, 0 selects the documented default and any NEGATIVE value
+// selects the literal zero. This avoids the classic zero-value trap where
+// Options{WLOverflowStop: 0} silently becomes 0.12: callers who really want
+// "threshold 0" or "no patience" pass -1.
 type Options struct {
 	Mode Mode
 	Tech Techniques
@@ -89,7 +95,9 @@ type Options struct {
 	// MaxWLIters bounds the wirelength-driven phase (default 400).
 	MaxWLIters int
 	// WLOverflowStop ends the wirelength phase at this density overflow
-	// (default 0.12).
+	// (default 0.12). Zero is a meaningful threshold ("never stop early"),
+	// so the sentinel convention applies: 0 selects the default, a negative
+	// value selects threshold 0.
 	WLOverflowStop float64
 	// MaxRouteIters bounds the routability loop (default 24).
 	MaxRouteIters int
@@ -98,8 +106,26 @@ type Options struct {
 	StepsPerRouteIter int
 	// CongestionPatience stops the routability loop after this many
 	// non-improving router calls (Fig. 2's "C(x,y) no longer decreases";
-	// default 4).
+	// default 4). Zero patience ("stop at the first non-improving call")
+	// is meaningful, so the sentinel convention applies: 0 selects the
+	// default, a negative value selects zero patience.
 	CongestionPatience int
+
+	// CheckpointPath, when non-empty, is where the run writes its state
+	// checkpoint: at the scheduled CheckpointAfter point, or — on context
+	// cancellation — at the last consistent pipeline position reached. The
+	// file is written atomically (temp file + rename). Empty disables
+	// checkpointing.
+	CheckpointPath string
+	// CheckpointAfter schedules a checkpoint-and-stop: when the named
+	// pipeline point completes, the state is written to CheckpointPath and
+	// the run returns ErrCheckpointed. Valid points are the stage names
+	// "setup", "wirelength", "routability", "legalize", "detailed", and
+	// "route_iter:K" (after route iteration K of the routability loop
+	// completes, 0-based). A point the run never reaches (e.g. a route
+	// iteration after the loop converged) lets the run finish normally.
+	// Empty disables scheduled checkpoints. Requires CheckpointPath.
+	CheckpointAfter string
 
 	// Workers caps the goroutines used by the parallel kernels (wirelength
 	// gradient, density rasterization, Poisson transforms and the router's
@@ -145,8 +171,12 @@ func (o *Options) setDefaults(numCells int) {
 	if o.MaxWLIters == 0 {
 		o.MaxWLIters = 400
 	}
+	// WLOverflowStop and CongestionPatience follow the sentinel convention
+	// documented on Options: 0 = default, negative = literal zero.
 	if o.WLOverflowStop == 0 {
 		o.WLOverflowStop = 0.12
+	} else if o.WLOverflowStop < 0 {
+		o.WLOverflowStop = 0
 	}
 	if o.MaxRouteIters == 0 {
 		o.MaxRouteIters = 24
@@ -156,6 +186,8 @@ func (o *Options) setDefaults(numCells int) {
 	}
 	if o.CongestionPatience == 0 {
 		o.CongestionPatience = 4
+	} else if o.CongestionPatience < 0 {
+		o.CongestionPatience = 0
 	}
 }
 

@@ -2,7 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -40,22 +44,96 @@ func placeRun(t *testing.T, design string, workers int) (*Result, []float64, []b
 	return res, pos, canon
 }
 
+// resumeRun places one catalog design with an interruption in the middle:
+// the run stops at the scheduled checkpoint point, then a fresh design
+// object and a fresh Observer resume it to completion. It returns the same
+// tuple as placeRun — with the trace being the canonicalized CONCATENATION
+// of the two halves' streams — so the caller can compare an interrupted run
+// against an uninterrupted one verbatim.
+func resumeRun(t *testing.T, design, point string, workers int) (*Result, []float64, []byte) {
+	t.Helper()
+	ckPath := filepath.Join(t.TempDir(), "resume.ckpt")
+	var buf1 bytes.Buffer
+	d := synth.MustGenerate(design)
+	opt := fastOpts(ModeOurs)
+	opt.Workers = workers
+	opt.Observer = telemetry.NewObserver(&buf1)
+	opt.CheckpointPath = ckPath
+	opt.CheckpointAfter = point
+	_, err := Place(d, opt)
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("Place with CheckpointAfter=%q returned %v, want ErrCheckpointed", point, err)
+	}
+
+	var buf2 bytes.Buffer
+	obs2 := telemetry.NewObserver(&buf2)
+	d = synth.MustGenerate(design)
+	ckf, err := os.Open(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResumeContext(context.Background(), d, ckf, Options{Workers: workers, Observer: obs2})
+	ckf.Close()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := obs2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]float64, 0, 2*len(d.Cells))
+	for i := range d.Cells {
+		pos = append(pos, d.Cells[i].X, d.Cells[i].Y)
+	}
+	concat := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+	canon, err := telemetry.StripTimings(concat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pos, canon
+}
+
 // TestPlaceIdenticalAcrossWorkerCounts is the tentpole's acceptance test:
 // the entire placement — every cell position, the congestion history and
 // the canonical telemetry trace — must be byte-identical whether the
 // parallel kernels run serial or with any number of workers, because every
 // float reduction merges a fixed number of shards in fixed index order.
+// The same must hold for a run interrupted at a scheduled checkpoint and
+// resumed: the resume leg runs each worker count through checkpoint+resume
+// and compares against the serial uninterrupted reference.
 func TestPlaceIdenticalAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full placement runs; skipped in -short")
 	}
 	workerCounts := []int{1, 2, runtime.NumCPU()}
+	// The checkpoint point must be one the run reaches: tiny_open converges
+	// after a single route iteration, so it checkpoints at the phase-1
+	// boundary; tiny_hot runs the full loop and checkpoints mid-loop.
+	resumePoint := map[string]string{"tiny_open": "wirelength", "tiny_hot": "route_iter:2"}
 	for _, design := range []string{"tiny_open", "tiny_hot"} {
 		design := design
 		t.Run(design, func(t *testing.T) {
 			refRes, refPos, refTrace := placeRun(t, design, workerCounts[0])
+			type leg struct {
+				w      int
+				resume bool
+			}
+			legs := []leg{}
 			for _, w := range workerCounts[1:] {
-				res, pos, trace := placeRun(t, design, w)
+				legs = append(legs, leg{w, false})
+			}
+			for _, w := range workerCounts {
+				legs = append(legs, leg{w, true})
+			}
+			for _, l := range legs {
+				w := l.w
+				var res *Result
+				var pos []float64
+				var trace []byte
+				if l.resume {
+					res, pos, trace = resumeRun(t, design, resumePoint[design], w)
+				} else {
+					res, pos, trace = placeRun(t, design, w)
+				}
 
 				for i := range refPos {
 					if math.Float64bits(pos[i]) != math.Float64bits(refPos[i]) {

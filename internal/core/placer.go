@@ -1,23 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"time"
 
-	"repro/internal/congestion"
-	"repro/internal/density"
-	"repro/internal/detailed"
 	"repro/internal/eval"
-	"repro/internal/inflation"
-	"repro/internal/legalize"
-	"repro/internal/nesterov"
-	"repro/internal/netlist"
-	"repro/internal/parallel"
-	"repro/internal/pgrail"
 	"repro/internal/route"
-	"repro/internal/telemetry"
-	"repro/internal/wirelength"
 )
 
 // lambda1Growth is the per-step multiplicative growth of the density weight
@@ -27,373 +14,6 @@ const lambda1Growth = 1.05
 // lambda1RouteGrowth is the slower density-weight growth used inside the
 // routability loop, applied only while overflow exceeds the target.
 const lambda1RouteGrowth = 1.02
-
-// Place runs the selected placer on the design IN PLACE (cell positions are
-// overwritten) and returns the run report including post-route metrics.
-//
-// Telemetry (Options.Observer) records the run as a span tree:
-//
-//	place
-//	  setup
-//	  phase1_wirelength                  (one "wl_iter" snapshot per step)
-//	  phase2_routability
-//	    route_iter ×N                    (one "route_iter" snapshot each)
-//	      route > route.decompose, route.round ×R
-//	      inflate · pg_density · congestion_update · nesterov
-//	  legalize > legalize.sort, legalize.abacus
-//	  detailed > detailed.pass ×P
-//	eval
-//	  route.decompose, route.round ×4, eval.score
-//
-// The "place" span closes exactly where Result.PlaceTime is measured and
-// "eval" where Result.RouteTime is, so the trace accounts for the full
-// reported runtime.
-func Place(d *netlist.Design, opt Options) (*Result, error) {
-	opt.setDefaults(len(d.Cells))
-	obs := opt.Observer
-	var tr *telemetry.Tracer
-	if obs != nil {
-		tr = obs.Tracer
-	}
-	res := &Result{Mode: opt.Mode}
-	start := time.Now()
-	root := obs.StartSpan("place")
-
-	// ---- Setup ----
-	sp := obs.StartSpan("setup")
-	spreadInitial(d)
-	dens := density.New(d, opt.GridHint)
-	dens.Workers = opt.Workers
-	gamma0 := dens.BinW() * 0.5
-	wl := wirelength.New(d, gamma0*10)
-	wl.Workers = opt.Workers
-	grid := route.NewGrid(d, opt.GridHint)
-	if grid.NX != dens.NX || grid.NY != dens.NY {
-		sp.End()
-		root.End()
-		return nil, fmt.Errorf("core: bin grid %dx%d and G-cell grid %dx%d differ",
-			dens.NX, dens.NY, grid.NX, grid.NY)
-	}
-
-	var cong *congestion.Model
-	if opt.Mode == ModeOurs && opt.Tech.DC {
-		cong = congestion.New(d, grid)
-		cong.Workers = opt.Workers
-		cong.VirtualAtMidpoint = opt.Tech.VirtualAtMidpoint
-		if opt.Tech.CongestionThreshold > 0 {
-			cong.UtilThreshold = opt.Tech.CongestionThreshold
-		}
-	}
-
-	obj := newObjective(d, wl, dens, cong)
-	obj.fixedLambda2 = opt.Tech.FixedLambda2
-
-	x := make([]float64, obj.dim())
-	obj.gather(x)
-	optm := nesterov.New(x, dens.BinW()*0.1)
-	optm.StepMax = dens.BinW() * 4
-
-	if obs != nil {
-		obs.Gauge("design.cells").Set(float64(len(d.Cells)))
-		obs.Gauge("design.nets").Set(float64(len(d.Nets)))
-		obs.Gauge("design.grid").Set(float64(dens.NX))
-		obj.poissonSolves = obs.Counter("poisson.solves")
-		evals := obs.Counter("objective.evals")
-		stepHist := obs.Histogram("nesterov.step_size")
-		optm.OnStep = func(_ int, _, step float64) {
-			evals.Inc()
-			stepHist.Observe(step)
-		}
-	}
-	sp.End()
-
-	// ---- Phase 1: wirelength-driven global placement (Xplace) ----
-	p1 := obs.StartSpan("phase1_wirelength")
-	opt.logf("phase 1: wirelength-driven placement (grid %dx%d, %d fillers)",
-		dens.NX, dens.NY, dens.NumFillers())
-	for it := 0; it < opt.MaxWLIters; it++ {
-		obj.useCong = false
-		_, step := optm.Step(obj)
-		obj.lambda1 *= lambda1Growth
-		wl.UpdateGamma(gamma0, clamp01(obj.lastOverflow))
-		res.WLIters++
-		if obs != nil {
-			obs.Snapshot("wl_iter", it,
-				telemetry.F("wl", obj.lastWL),
-				telemetry.F("dens_overflow", obj.lastOverflow),
-				telemetry.F("lambda1", obj.lambda1),
-				telemetry.F("gamma", wl.Gamma()),
-				telemetry.F("step", step))
-		}
-		if obj.lastOverflow < opt.WLOverflowStop && it > 20 {
-			break
-		}
-	}
-	obj.scatter(optm.U())
-	d.ClampToDie()
-	dens.ClampFillers()
-	res.FinalOverflow = obj.lastOverflow
-	p1.End()
-	opt.logf("phase 1 done: %d iters, overflow %.3f, HPWL %.0f",
-		res.WLIters, obj.lastOverflow, d.HPWL())
-
-	// ---- Phase 2: routability-driven placement ----
-	var routeStats parallel.Timing
-	if opt.Mode != ModeWirelength {
-		p2 := obs.StartSpan("phase2_routability")
-		err := routabilityLoop(d, opt, res, dens, grid, cong, obj, optm, &routeStats)
-		p2.End()
-		if err != nil {
-			root.End()
-			return nil, err
-		}
-	}
-
-	res.HPWLGlobal = d.HPWL()
-
-	// ---- Legalization ----
-	if !opt.SkipLegalize {
-		sp = obs.StartSpan("legalize")
-		lg := legalize.New(d)
-		lg.Trace = tr
-		disp, _, err := lg.Run()
-		sp.End()
-		if err != nil {
-			root.End()
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		res.LegalizeDisp = disp
-		res.HPWLLegalized = d.HPWL()
-		opt.logf("legalized: total displacement %.0f, HPWL %.0f", disp, res.HPWLLegalized)
-
-		if !opt.SkipDetailed {
-			sp = obs.StartSpan("detailed")
-			dp := detailed.Refine(d, detailed.Options{Passes: 2, Trace: tr})
-			sp.End()
-			opt.logf("detailed placement: %d shifts, %d swaps, HPWL %.0f → %.0f",
-				dp.Shifts, dp.Swaps, dp.HPWLBefore, dp.HPWLAfter)
-		}
-	}
-	res.HPWLFinal = d.HPWL()
-	root.End()
-	res.PlaceTime = time.Since(start)
-
-	// ---- Final routing evaluation (the Innovus stand-in) ----
-	rStart := time.Now()
-	esp := obs.StartSpan("eval")
-	res.Metrics = eval.EvaluateTraced(d, opt.GridHint, tr, opt.Workers)
-	esp.End()
-	res.RouteTime = time.Since(rStart)
-	opt.logf("final: DRWL %.0f, vias %d, DRVs %d",
-		res.Metrics.DRWL, res.Metrics.DRVias, res.Metrics.DRVs)
-	opt.timingf("timing: PT %.2fs, RT %.2fs",
-		res.PlaceTime.Seconds(), res.RouteTime.Seconds())
-
-	if obs != nil {
-		obs.Gauge("place.wl_iters").Set(float64(res.WLIters))
-		obs.Gauge("place.route_iters").Set(float64(res.RouteIters))
-		obs.Gauge("place.final_overflow").Set(res.FinalOverflow)
-		obs.Gauge("place.hpwl_final").Set(res.HPWLFinal)
-		obs.Gauge("place.legalize_disp").Set(res.LegalizeDisp)
-		obs.Gauge("eval.drwl").Set(res.Metrics.DRWL)
-		obs.Gauge("eval.drvias").Set(float64(res.Metrics.DRVias))
-		obs.Gauge("eval.drvs").Set(float64(res.Metrics.DRVs))
-		// Parallelism gauges are volatile: wall-clock ratios that vary
-		// with machine and load, excluded from canonical traces.
-		obs.VolatileGauge("parallel.workers").Set(float64(parallel.Resolve(opt.Workers)))
-		obs.VolatileGauge("parallel.wirelength.speedup").Set(wl.Stats().Speedup())
-		obs.VolatileGauge("parallel.density.speedup").Set(dens.Stats().Speedup())
-		pstats := dens.SolverStats()
-		if cong != nil {
-			pstats.Add(cong.SolverStats())
-		}
-		obs.VolatileGauge("parallel.poisson.speedup").Set(pstats.Speedup())
-		obs.VolatileGauge("parallel.route.speedup").Set(routeStats.Speedup())
-		res.StageTimings = obs.Tracer.StageTimings()
-	}
-	return res, nil
-}
-
-// routabilityLoop is the Fig. 2 inner loop shared by ModeBaselineRoute and
-// ModeOurs.
-func routabilityLoop(d *netlist.Design, opt Options, res *Result,
-	dens *density.Model, grid *route.Grid, cong *congestion.Model,
-	obj *objective, optm *nesterov.Optimizer, routeStats *parallel.Timing) error {
-
-	obs := opt.Observer
-	var tr *telemetry.Tracer
-	if obs != nil {
-		tr = obs.Tracer
-	}
-	// Nil-safe metric handles: with obs == nil these are nil and every
-	// update below is a no-op branch.
-	routeCalls := obs.Counter("route.calls")
-	ripupRounds := obs.Counter("route.ripup_rounds")
-	routeSegs := obs.Counter("route.segments")
-	congUpdates := obs.Counter("congestion.updates")
-	nesterovResets := obs.Counter("nesterov.resets")
-	poissonSolves := obs.Counter("poisson.solves")
-
-	// Inflation scheme per mode / ablation.
-	var inf inflation.Inflator
-	scheme := opt.Tech.InflationScheme
-	if scheme == "" {
-		if opt.Mode == ModeOurs && opt.Tech.MCI {
-			scheme = "momentum"
-		} else {
-			scheme = "monotonic"
-		}
-	}
-	switch scheme {
-	case "momentum":
-		m := inflation.NewMomentum(len(d.Cells))
-		if opt.Tech.MomentumAlpha > 0 {
-			m.Alpha = opt.Tech.MomentumAlpha
-		}
-		inf = m
-	case "present":
-		inf = inflation.NewPresentOnly(len(d.Cells))
-	case "monotonic":
-		inf = inflation.NewMonotonic(len(d.Cells))
-	default:
-		return fmt.Errorf("core: unknown inflation scheme %q", scheme)
-	}
-
-	// PG-rail handling per mode.
-	bins := pgrail.BinGrid{NX: dens.NX, NY: dens.NY, Die: d.Die,
-		BinW: dens.BinW(), BinH: dens.BinH()}
-	var selected []netlist.PGRail
-	dynamicPG := opt.Mode == ModeOurs && opt.Tech.DPA
-	if dynamicPG {
-		selected = pgrail.SelectRails(d)
-		opt.logf("phase 2: %d of %d PG rails selected for density adjustment",
-			len(selected), len(d.Rails))
-	} else {
-		// Xplace-Route style static pre-adjustment, set once. It stays in
-		// effect in the ablation rows without DPA because the paper's
-		// framework is built on Xplace-Route's flow — the DPA technique
-		// REPLACES the static adjustment with the congestion-gated dynamic
-		// one (Sec. III-C contrasts exactly these two policies).
-		dens.SetPGDensity(pgrail.StaticDensity(d, bins))
-	}
-
-	congAt := make([]float64, len(d.Cells))
-	bestC := 0.0
-	stall := 0
-	useCongTerm := cong != nil
-	var bestX []float64 // placement with the lowest weighted congestion
-
-	for it := 0; it < opt.MaxRouteIters; it++ {
-		itSp := obs.StartSpan("route_iter")
-		// Route from the current positions.
-		obj.scatter(optm.U())
-		sp := obs.StartSpan("route")
-		rtr := route.NewRouter(d, grid)
-		rtr.Trace = tr
-		rtr.Workers = opt.Workers
-		rres := rtr.Route()
-		sp.End()
-		routeStats.Add(rtr.Stats())
-		routeCalls.Inc()
-		ripupRounds.Add(int64(rres.RoundsRun))
-		routeSegs.Add(int64(rres.Segments))
-		// Track the same superlinear overflow shape the post-route DRV
-		// oracle scores, so "C(x,y) no longer decreases" and the final
-		// evaluation agree on what an improvement is.
-		wc := overflowScore(rres)
-		res.CongestionHistory = append(res.CongestionHistory, wc)
-		// Count the router call NOW so RouteIters == len(CongestionHistory)
-		// even when one of the breaks below ends the loop.
-		res.RouteIters++
-		opt.logf("route iter %d: overflow score %.1f, max util %.2f, overflow cells %d",
-			it, wc, rres.MaxUtil, rres.OverflowCells)
-		if obs != nil {
-			inflMean, inflMax := inflationStats(inf.Ratios())
-			obs.Snapshot("route_iter", it,
-				telemetry.F("hpwl", d.HPWL()),
-				telemetry.F("overflow_score", wc),
-				telemetry.F("max_util", rres.MaxUtil),
-				telemetry.F("overflow_cells", float64(rres.OverflowCells)),
-				telemetry.F("dens_overflow", obj.lastOverflow),
-				telemetry.F("lambda1", obj.lambda1),
-				telemetry.F("lambda2", obj.lambda2),
-				telemetry.F("gamma", obj.wl.Gamma()),
-				telemetry.F("infl_mean", inflMean),
-				telemetry.F("infl_max", inflMax))
-		}
-
-		// Stop when C(x,y) no longer decreases (Fig. 2); remember the best
-		// placement seen so a late degradation cannot leak into the result.
-		if it == 0 || wc < bestC*0.999 {
-			bestC = wc
-			stall = 0
-			bestX = append(bestX[:0], optm.U()...)
-		} else {
-			stall++
-			if stall >= opt.CongestionPatience {
-				opt.logf("route loop: congestion stalled after %d iters", it+1)
-				itSp.End()
-				break
-			}
-		}
-		if rres.OverflowCells == 0 {
-			opt.logf("route loop: no congestion left after %d iters", it+1)
-			itSp.End()
-			break
-		}
-
-		// Momentum (or baseline) cell inflation.
-		sp = obs.StartSpan("inflate")
-		cellCongestion(d, rres.CongestionAt, congAt)
-		inf.Update(congAt, rres.AvgCongestion())
-		dens.SetInflations(inf.Ratios())
-		sp.End()
-
-		// Dynamic PG density (Eq. 13–15).
-		if dynamicPG {
-			sp = obs.StartSpan("pg_density")
-			dens.SetPGDensity(pgrail.Density(selected, bins, rres.Congestion, rres.AvgCongestion()))
-			sp.End()
-		}
-
-		// Differentiable congestion term.
-		if useCongTerm {
-			sp = obs.StartSpan("congestion_update")
-			cong.Update(rres)
-			sp.End()
-			congUpdates.Inc()
-			poissonSolves.Inc() // the congestion potential is one Poisson solve
-		}
-
-		// Nesterov steps on the updated objective. The problem changed
-		// discontinuously, so restart the momentum sequence at the current
-		// main iterate. λ₁ keeps growing only while density overflow remains
-		// above the target — compounding it unconditionally would let the
-		// density term drown the wirelength and congestion terms over a long
-		// routability loop.
-		sp = obs.StartSpan("nesterov")
-		obj.useCong = useCongTerm
-		optm.Reset(optm.U())
-		nesterovResets.Inc()
-		for s := 0; s < opt.StepsPerRouteIter; s++ {
-			optm.Step(obj)
-			if obj.lastOverflow > opt.WLOverflowStop {
-				obj.lambda1 *= lambda1RouteGrowth
-			}
-		}
-		sp.End()
-		res.FinalOverflow = obj.lastOverflow
-		itSp.End()
-	}
-	if bestX != nil {
-		obj.scatter(bestX)
-	} else {
-		obj.scatter(optm.U())
-	}
-	d.ClampToDie()
-	dens.ClampFillers()
-	return nil
-}
 
 // inflationStats summarizes the current inflation ratios for snapshots.
 func inflationStats(ratios []float64) (mean, max float64) {
@@ -411,13 +31,14 @@ func inflationStats(ratios []float64) (mean, max float64) {
 }
 
 // overflowScore sums G-cell overflow with the same superlinear exponent the
-// evaluation oracle uses, so the loop optimizes what the scorecard measures.
+// evaluation oracle uses (eval.OverflowExp), so the routability loop
+// optimizes exactly what the scorecard measures.
 func overflowScore(r *route.Result) float64 {
 	g := r.Grid
 	var s float64
 	for i := 0; i < g.NX*g.NY; i++ {
 		if ov := r.DemandTotal(i) - g.CapTotal(i); ov > 0 {
-			s += math.Pow(ov, 1.8)
+			s += math.Pow(ov, eval.OverflowExp)
 		}
 	}
 	return s

@@ -254,6 +254,14 @@ func (m *Model) ActiveFillers() int { return m.activeFillers }
 // Inflation returns the current inflation ratio of a cell.
 func (m *Model) Inflation(cell int) float64 { return m.inflation[cell] }
 
+// PGDensity returns a copy of the current PG-rail additive bin density
+// (what the last SetPGDensity installed; all zeros initially). Together
+// with the inflation ratios and filler positions it completes the model's
+// externally-set state for checkpointing.
+func (m *Model) PGDensity() []float64 {
+	return append([]float64(nil), m.pgRho...)
+}
+
 // SetPGDensity replaces the PG-rail additive bin density (Eq. 14). The slice
 // must have NX·NY entries expressed as area per bin (same unit as cell
 // overlap areas); pass nil to clear.

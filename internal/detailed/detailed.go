@@ -13,6 +13,7 @@
 package detailed
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -58,6 +59,16 @@ func rowOf(d *netlist.Design) map[int][]int {
 // Refine runs the detailed-placement passes in place. The design must be
 // legal on entry; it stays legal on exit.
 func Refine(d *netlist.Design, opt Options) Result {
+	res, _ := RefineContext(context.Background(), d, opt)
+	return res
+}
+
+// RefineContext is Refine with cooperative cancellation, checked between
+// passes and between rows. On cancellation it returns ctx.Err() with the
+// refinement incomplete — the design is still LEGAL (every individual move
+// preserves legality) but callers wanting the pre-refinement placement
+// back must back up positions themselves.
+func RefineContext(ctx context.Context, d *netlist.Design, opt Options) (Result, error) {
 	passes := opt.Passes
 	if passes <= 0 {
 		passes = 2
@@ -72,13 +83,18 @@ func Refine(d *netlist.Design, opt Options) Result {
 		}
 		sort.Ints(keys)
 		for _, r := range keys {
+			if err := ctx.Err(); err != nil {
+				sp.End()
+				res.HPWLAfter = d.HPWL()
+				return res, err
+			}
 			res.Shifts += shiftRow(d, rows[r])
 			res.Swaps += swapRow(d, rows[r])
 		}
 		sp.End()
 	}
 	res.HPWLAfter = d.HPWL()
-	return res
+	return res, nil
 }
 
 // medianTargetX returns the HPWL-optimal x center for cell ci: the median of

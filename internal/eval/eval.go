@@ -18,6 +18,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/netlist"
@@ -37,16 +38,20 @@ const (
 	// routing (roughly 10–30% on congested designs).
 	wPinAccess = 25.0
 
-	// overflowExp makes concentrated overflow cost more than spread-out
-	// overflow, matching how detailed routers degrade sharply in hotspots.
-	overflowExp = 1.8
-
 	// pinDensityFactor sets the pin capacity of a G-cell as a multiple of
 	// the pins a G-cell would hold when filled with average cells at full
 	// density. The capacity is a property of the design, not the placement,
 	// so piling cells together always produces violations.
 	pinDensityFactor = 2.0
 )
+
+// OverflowExp is the superlinear exponent applied to per-G-cell routing
+// overflow: concentrated overflow costs more than spread-out overflow,
+// matching how detailed routers degrade sharply in hotspots. It is shared
+// between this scoring oracle and the placer's in-loop congestion score
+// (core.overflowScore tracks the identical quantity), so the loop optimizes
+// exactly what the scorecard measures and the two cannot silently drift.
+const OverflowExp = 1.8
 
 // Metrics is the Table I measurement set for one placement.
 type Metrics struct {
@@ -77,16 +82,28 @@ func Evaluate(d *netlist.Design, gridHint int) Metrics {
 // bounds the router's parallel choice phase (0 selects runtime.NumCPU();
 // results are byte-identical for any setting).
 func EvaluateTraced(d *netlist.Design, gridHint int, tr *telemetry.Tracer, workers int) Metrics {
+	m, _ := EvaluateContext(context.Background(), d, gridHint, tr, workers)
+	return m
+}
+
+// EvaluateContext is EvaluateTraced with cooperative cancellation: the
+// embedded high-effort routing aborts between rounds and batches, and the
+// zero Metrics plus ctx.Err() are returned. Evaluation never mutates the
+// design, so an aborted call has no side effects.
+func EvaluateContext(ctx context.Context, d *netlist.Design, gridHint int, tr *telemetry.Tracer, workers int) (Metrics, error) {
 	g := route.NewGrid(d, gridHint)
 	r := route.NewRouter(d, g)
 	r.Rounds = 4 // detailed-routing effort
 	r.Trace = tr
 	r.Workers = workers
-	res := r.Route()
+	res, err := r.RouteContext(ctx)
+	if err != nil {
+		return Metrics{}, err
+	}
 	sp := tr.Start("eval.score")
 	m := Score(d, res)
 	sp.End()
-	return m
+	return m, nil
 }
 
 // Score derives the metrics from an existing routing result (exposed so the
@@ -105,7 +122,7 @@ func Score(d *netlist.Design, res *route.Result) Metrics {
 	// Component 1: leftover overflow, super-linearly weighted.
 	for i := 0; i < g.NX*g.NY; i++ {
 		if ov := res.DemandTotal(i) - g.CapTotal(i); ov > 0 {
-			m.OverflowViol += math.Pow(ov, overflowExp)
+			m.OverflowViol += math.Pow(ov, OverflowExp)
 		}
 	}
 

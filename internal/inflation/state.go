@@ -1,0 +1,81 @@
+package inflation
+
+import "fmt"
+
+// State is a serializable snapshot of an Inflator. Scheme names the
+// concrete type ("momentum", "monotonic" or "present"); the remaining
+// fields are populated per scheme — Momentum carries its full Eq. 11–12
+// memory, the two baselines only their ratios.
+type State struct {
+	Scheme string
+
+	R []float64 // all schemes: current per-cell ratios
+
+	// Momentum only.
+	DR      []float64
+	CPrev   []float64
+	AvgPrev float64
+	T       int
+}
+
+// Capture snapshots an Inflator into a State (deep copies).
+func Capture(inf Inflator) State {
+	switch m := inf.(type) {
+	case *Momentum:
+		return State{
+			Scheme:  "momentum",
+			R:       append([]float64(nil), m.r...),
+			DR:      append([]float64(nil), m.dr...),
+			CPrev:   append([]float64(nil), m.cPrev...),
+			AvgPrev: m.avgPrev,
+			T:       m.t,
+		}
+	case *Monotonic:
+		return State{Scheme: "monotonic", R: append([]float64(nil), m.r...)}
+	case *PresentOnly:
+		return State{Scheme: "present", R: append([]float64(nil), m.r...)}
+	default:
+		panic("inflation: unknown inflator type")
+	}
+}
+
+// Restore loads a State into an Inflator of the matching concrete type and
+// cell count; subsequent Updates then evolve bitwise-identically to the
+// snapshotted inflator.
+func Restore(inf Inflator, s State) error {
+	switch m := inf.(type) {
+	case *Momentum:
+		if s.Scheme != "momentum" {
+			return fmt.Errorf("inflation: state scheme %q does not match momentum inflator", s.Scheme)
+		}
+		if len(s.R) != len(m.r) || len(s.DR) != len(m.dr) || len(s.CPrev) != len(m.cPrev) {
+			return fmt.Errorf("inflation: state length %d does not match %d cells", len(s.R), len(m.r))
+		}
+		copy(m.r, s.R)
+		copy(m.dr, s.DR)
+		copy(m.cPrev, s.CPrev)
+		m.avgPrev = s.AvgPrev
+		m.t = s.T
+		return nil
+	case *Monotonic:
+		if s.Scheme != "monotonic" {
+			return fmt.Errorf("inflation: state scheme %q does not match monotonic inflator", s.Scheme)
+		}
+		if len(s.R) != len(m.r) {
+			return fmt.Errorf("inflation: state length %d does not match %d cells", len(s.R), len(m.r))
+		}
+		copy(m.r, s.R)
+		return nil
+	case *PresentOnly:
+		if s.Scheme != "present" {
+			return fmt.Errorf("inflation: state scheme %q does not match present-only inflator", s.Scheme)
+		}
+		if len(s.R) != len(m.r) {
+			return fmt.Errorf("inflation: state length %d does not match %d cells", len(s.R), len(m.r))
+		}
+		copy(m.r, s.R)
+		return nil
+	default:
+		panic("inflation: unknown inflator type")
+	}
+}

@@ -11,6 +11,7 @@
 package legalize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -102,6 +103,15 @@ func New(d *netlist.Design) *Legalizer {
 // returns the total and maximum displacement. An error is returned when a
 // cell cannot be placed anywhere (die over-full).
 func (l *Legalizer) Run() (totalDisp, maxDisp float64, err error) {
+	return l.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation, checked once per cell.
+// On cancellation it returns ctx.Err() with the design left PARTIALLY
+// legalized — some cells moved, some not. Callers wanting all-or-nothing
+// semantics (the pipeline's checkpoint machinery does) must back up the
+// movable positions before calling and restore them on error.
+func (l *Legalizer) RunContext(ctx context.Context) (totalDisp, maxDisp float64, err error) {
 	d := l.d
 	sp := l.Trace.Start("legalize.sort")
 	order := d.MovableIndices()
@@ -117,6 +127,9 @@ func (l *Legalizer) Run() (totalDisp, maxDisp float64, err error) {
 	sp = l.Trace.Start("legalize.abacus")
 	defer sp.End()
 	for _, ci := range order {
+		if err := ctx.Err(); err != nil {
+			return totalDisp, maxDisp, err
+		}
 		c := &d.Cells[ci]
 		bestCost := math.Inf(1)
 		bestRow, bestSeg := -1, -1

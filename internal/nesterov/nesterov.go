@@ -5,7 +5,10 @@
 // preconditioned gradients.
 package nesterov
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Objective is the function being minimized. Eval writes the gradient at x
 // into grad (overwriting it) and returns the objective value. Precondition
@@ -136,6 +139,54 @@ func (o *Optimizer) Step(obj Objective) (val, step float64) {
 
 // Steps returns the cumulative number of Step calls (across Resets).
 func (o *Optimizer) Steps() int { return o.steps }
+
+// State is a complete serializable snapshot of the optimizer's iteration
+// state (everything Step reads besides the Objective): the momentum scalar,
+// the first-step flag, the cumulative step count and the four iterate
+// vectors. StepMin/StepMax/step0 are construction parameters, not state —
+// a restorer rebuilds the optimizer with the same construction inputs and
+// then applies a State.
+type State struct {
+	A     float64
+	First bool
+	Steps int
+	U     []float64
+	V     []float64
+	VPrev []float64
+	GPrev []float64
+}
+
+// State returns a deep copy of the optimizer's iteration state.
+func (o *Optimizer) State() State {
+	return State{
+		A:     o.a,
+		First: o.first,
+		Steps: o.steps,
+		U:     append([]float64(nil), o.u...),
+		V:     append([]float64(nil), o.v...),
+		VPrev: append([]float64(nil), o.vPrev...),
+		GPrev: append([]float64(nil), o.gPrev...),
+	}
+}
+
+// SetState overwrites the optimizer's iteration state with a snapshot taken
+// from an optimizer of the same dimension. The next Step then behaves
+// bitwise-identically to the step the snapshotted optimizer would have
+// taken.
+func (o *Optimizer) SetState(s State) error {
+	if len(s.U) != o.n || len(s.V) != o.n || len(s.VPrev) != o.n || len(s.GPrev) != o.n {
+		return fmt.Errorf("nesterov: state dimension %d does not match optimizer dimension %d",
+			len(s.U), o.n)
+	}
+	o.a = s.A
+	o.first = s.First
+	o.steps = s.Steps
+	copy(o.u, s.U)
+	copy(o.v, s.V)
+	copy(o.vPrev, s.VPrev)
+	copy(o.gPrev, s.GPrev)
+	return nil
+}
 
 // GradNorm returns the L2 norm of the last preconditioned gradient.
 func (o *Optimizer) GradNorm() float64 {

@@ -23,6 +23,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -91,19 +92,36 @@ func (t Timing) Speedup() float64 {
 // under the determinism contract because each shard's result lands in its
 // own slot regardless of which worker computed it, or in what order.
 func For(workers, n int, fn func(shard, start, end int)) Timing {
+	t, _ := ForCtx(context.Background(), workers, n, fn)
+	return t
+}
+
+// ForCtx is For with cooperative cancellation: the context is checked on
+// entry and before every shard claim, and the first non-nil ctx.Err() seen
+// is returned. Shards already started always run to completion and every
+// worker goroutine is joined before ForCtx returns (no leaks), but on a
+// non-nil error an unknown SUBSET of shards has executed — the caller must
+// treat every output buffer the kernel wrote as garbage and either discard
+// it or rebuild it from scratch. Determinism is unaffected on the nil-error
+// path: all shards ran, exactly as For.
+func ForCtx(ctx context.Context, workers, n int, fn func(shard, start, end int)) (Timing, error) {
 	if n <= 0 {
-		return Timing{}
+		return Timing{}, ctx.Err()
 	}
 	w := Resolve(workers)
 	t0 := time.Now()
 	if w == 1 {
 		for s := 0; s < NumShards; s++ {
+			if err := ctx.Err(); err != nil {
+				wall := time.Since(t0)
+				return Timing{Wall: wall, Busy: wall}, err
+			}
 			if lo, hi := Range(s, n); lo < hi {
 				fn(s, lo, hi)
 			}
 		}
 		wall := time.Since(t0)
-		return Timing{Wall: wall, Busy: wall}
+		return Timing{Wall: wall, Busy: wall}, nil
 	}
 	if w > n {
 		w = n // never more workers than items
@@ -112,11 +130,22 @@ func For(workers, n int, fn func(shard, start, end int)) Timing {
 	var busy atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
+	done := ctx.Done()
+	var cancelled atomic.Bool
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			g0 := time.Now()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						cancelled.Store(true)
+						busy.Add(int64(time.Since(g0)))
+						return
+					default:
+					}
+				}
 				s := int(next.Add(1)) - 1
 				if s >= NumShards {
 					break
@@ -129,7 +158,11 @@ func For(workers, n int, fn func(shard, start, end int)) Timing {
 		}()
 	}
 	wg.Wait()
-	return Timing{Wall: time.Since(t0), Busy: time.Duration(busy.Load())}
+	t := Timing{Wall: time.Since(t0), Busy: time.Duration(busy.Load())}
+	if cancelled.Load() {
+		return t, ctx.Err()
+	}
+	return t, nil
 }
 
 // MergeFloats adds every shard slice into dst elementwise, in ascending

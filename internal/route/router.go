@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -92,6 +93,23 @@ func NewRouter(d *netlist.Design, g *Grid) *Router {
 // candidate-choice phases (telemetry: the parallel.route speedup gauge).
 func (r *Router) Stats() parallel.Timing { return r.stats }
 
+// Reset clears the per-call routing state — the rip-up-and-reroute overflow
+// history and the demand maps — returning the router to its
+// freshly-constructed condition without reallocating any buffer. Route
+// calls it on entry, so one Router can be reused across the route
+// iterations of a placement run (the routability loop constructs a single
+// Router and routes it once per iteration) with results byte-identical to
+// constructing a new Router each time. The accumulated Stats timing is
+// deliberately kept: it is cumulative, wall-clock-only telemetry.
+func (r *Router) Reset() {
+	for i := range r.hist {
+		r.hist[i] = 0
+		r.dmdH[i] = 0
+		r.dmdV[i] = 0
+		r.dmdVia[i] = 0
+	}
+}
+
 // segment is one two-pin connection in G-cell coordinates.
 type segment struct {
 	x1, y1, x2, y2 int
@@ -101,6 +119,18 @@ type segment struct {
 // Route routes every net from the current cell positions and returns the
 // demand and congestion maps.
 func (r *Router) Route() *Result {
+	res, _ := r.RouteContext(context.Background())
+	return res
+}
+
+// RouteContext is Route with cooperative cancellation: the context is
+// checked between rip-up rounds and between segment batches, and inside
+// the parallel candidate-choice phase. On cancellation it returns
+// (nil, ctx.Err()) — the router's internal demand state is left partial,
+// but Route/RouteContext reset it on entry, so an aborted call has no
+// effect on any later call. Routing never mutates the design, so a caller
+// observing an error can simply drop the call.
+func (r *Router) RouteContext(ctx context.Context) (*Result, error) {
 	sp := r.Trace.Start("route.decompose")
 	segs := r.decompose()
 	// Short segments first: they have the fewest detour options.
@@ -108,18 +138,23 @@ func (r *Router) Route() *Result {
 	sp.End()
 
 	n := r.g.NX * r.g.NY
-	for i := range r.hist {
-		r.hist[i] = 0
-	}
+	r.Reset()
 	var wl float64
 	var vias int
 	for round := 0; round < r.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rsp := r.Trace.Start("route.round")
 		for i := 0; i < n; i++ {
 			r.dmdH[i], r.dmdV[i], r.dmdVia[i] = 0, 0, 0
 		}
 		wl, vias = 0, 0
 		for lo := 0; lo < len(segs); lo += chooseBatch {
+			if err := ctx.Err(); err != nil {
+				rsp.End()
+				return nil, err
+			}
 			hi := lo + chooseBatch
 			if hi > len(segs) {
 				hi = len(segs)
@@ -128,11 +163,16 @@ func (r *Router) Route() *Result {
 			// Choice phase: every segment in the batch reads the same
 			// frozen demand state; writes (one choice slot per segment)
 			// are disjoint, so any worker count picks the same patterns.
-			r.stats.Add(parallel.For(r.Workers, len(batch), func(_, blo, bhi int) {
+			t, err := parallel.ForCtx(ctx, r.Workers, len(batch), func(_, blo, bhi int) {
 				for i := blo; i < bhi; i++ {
 					r.choices[i] = int32(r.chooseSegment(batch[i]))
 				}
-			}))
+			})
+			r.stats.Add(t)
+			if err != nil {
+				rsp.End()
+				return nil, err
+			}
 			// Commit phase: serial, in segment order.
 			for i, s := range batch {
 				dw, dv := r.commitSegment(s, int(r.choices[i]))
@@ -158,7 +198,7 @@ func (r *Router) Route() *Result {
 	res := r.assembleResult(wl, vias)
 	res.Segments = len(segs)
 	res.RoundsRun = r.Rounds
-	return res
+	return res, nil
 }
 
 // decompose converts every net into MST two-pin segments in G-cell space.

@@ -1,0 +1,181 @@
+package telemetry
+
+// Observer state capture and restore: the checkpoint/resume machinery of
+// internal/core snapshots an Observer mid-run so that a resumed run emits a
+// byte-exact CONTINUATION of the interrupted trace — concatenating the
+// canonical (StripTimings) trace written before the checkpoint with the one
+// written after resume reproduces the canonical trace of an uninterrupted
+// run. That requires carrying over everything that feeds future events:
+//
+//   - the event sequence number (every event carries "seq");
+//   - the tracer's next span ID and the stack of spans still open at the
+//     snapshot point (a resumed run must close them under their original
+//     IDs, and new spans must keep numbering from where the old run left
+//     off);
+//   - the per-stage timing aggregates (Result.StageTimings spans both run
+//     halves);
+//   - the full metrics registry including histogram bucket contents, so
+//     the final Flush of the resumed run emits the same cumulative values
+//     an uninterrupted run would.
+//
+// Durations inside the restored aggregates are wall-clock and therefore
+// volatile; they never appear in canonical traces.
+
+// SpanState identifies one span open at capture time.
+type SpanState struct {
+	ID   int
+	Name string
+}
+
+// MetricState is one registry entry in serializable form. Kind is
+// "counter", "gauge" or "histogram"; the value fields are populated per
+// kind (Buckets has the fixed decade-bucket layout of Histogram).
+type MetricState struct {
+	Name     string
+	Kind     string
+	Volatile bool
+
+	Counter int64 // counter
+
+	Gauge    float64 // gauge
+	GaugeSet bool
+
+	Count   int64 // histogram
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets []int64
+}
+
+// HistogramBuckets is the fixed bucket count of every Histogram, exported
+// so serializers can validate MetricState.Buckets.
+const HistogramBuckets = histBuckets
+
+// ObserverState is a complete serializable snapshot of an Observer's
+// deterministic state. Wall-clock span start times are NOT part of it: a
+// restored open span restarts its clock, so its eventual dur_us reflects
+// only the resumed half (dur_us is excluded from canonical traces anyway).
+type ObserverState struct {
+	Seq        int64
+	NextSpanID int
+	OpenSpans  []SpanState // root first
+	Stages     []StageTiming
+	Metrics    []MetricState // Snapshot order: sorted by (kind, name)
+}
+
+// CaptureState snapshots the observer's deterministic state. The returned
+// value shares nothing with the observer. Returns nil on a nil observer.
+func (o *Observer) CaptureState() *ObserverState {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	st := &ObserverState{Seq: o.seq, NextSpanID: o.Tracer.nextID}
+	for _, ref := range o.Tracer.stack {
+		st.OpenSpans = append(st.OpenSpans, SpanState{ID: ref.id, Name: ref.name})
+	}
+	st.Stages = append(st.Stages, o.Tracer.agg...)
+	o.mu.Unlock()
+
+	r := o.Metrics
+	r.mu.Lock()
+	for name, c := range r.counters {
+		st.Metrics = append(st.Metrics, MetricState{Name: name, Kind: "counter",
+			Counter: c.Value()})
+	}
+	for name, g := range r.gauges {
+		st.Metrics = append(st.Metrics, MetricState{Name: name, Kind: "gauge",
+			Volatile: r.volatile[name], Gauge: g.Value(), GaugeSet: g.set.Load()})
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		m := MetricState{Name: name, Kind: "histogram", Count: h.count,
+			Sum: h.sum, Min: h.min, Max: h.max,
+			Buckets: append([]int64(nil), h.buckets[:]...)}
+		h.mu.Unlock()
+		st.Metrics = append(st.Metrics, m)
+	}
+	sortMetricStates(st.Metrics)
+	return st
+}
+
+func sortMetricStates(ms []MetricState) {
+	// Same (kind, name) order as Registry.Snapshot, so serialized
+	// checkpoints are deterministic.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && metricStateLess(&ms[j], &ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func metricStateLess(a, b *MetricState) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Name < b.Name
+}
+
+// RestoreState loads a captured state into the observer and returns live
+// *Span handles for the spans that were open at capture time, ordered root
+// first — ending one closes it under its ORIGINAL span ID, which is what
+// keeps a resumed trace identical to an uninterrupted one. It must be
+// called on a freshly created Observer, before any spans are started or
+// metric handles resolved (handles resolved earlier would point at metrics
+// the restore replaces).
+func (o *Observer) RestoreState(st *ObserverState) []*Span {
+	if o == nil || st == nil {
+		return nil
+	}
+	o.mu.Lock()
+	o.seq = st.Seq
+	t := o.Tracer
+	t.nextID = st.NextSpanID
+	t.stack = t.stack[:0]
+	spans := make([]*Span, 0, len(st.OpenSpans))
+	for _, s := range st.OpenSpans {
+		t.stack = append(t.stack, spanRef{id: s.ID, name: s.Name})
+		spans = append(spans, &Span{t: t, id: s.ID, name: s.Name, start: o.now()})
+	}
+	t.agg = append(t.agg[:0], st.Stages...)
+	t.byKey = make(map[string]int, len(t.agg))
+	for i := range t.agg {
+		t.byKey[t.agg[i].Name] = i
+	}
+	// Open spans must be aggregatable on End even if no span of that name
+	// is started in the resumed half.
+	for _, s := range st.OpenSpans {
+		if _, ok := t.byKey[s.Name]; !ok {
+			t.byKey[s.Name] = len(t.agg)
+			t.agg = append(t.agg, StageTiming{Name: s.Name})
+		}
+	}
+	o.mu.Unlock()
+
+	r := o.Metrics
+	r.mu.Lock()
+	for i := range st.Metrics {
+		m := &st.Metrics[i]
+		switch m.Kind {
+		case "counter":
+			c := &Counter{}
+			c.n.Store(m.Counter)
+			r.counters[m.Name] = c
+		case "gauge":
+			g := &Gauge{}
+			if m.GaugeSet {
+				g.Set(m.Gauge)
+			}
+			if m.Volatile {
+				r.volatile[m.Name] = true
+			}
+			r.gauges[m.Name] = g
+		case "histogram":
+			h := &Histogram{count: m.Count, sum: m.Sum, min: m.Min, max: m.Max}
+			copy(h.buckets[:], m.Buckets)
+			r.hists[m.Name] = h
+		}
+	}
+	r.mu.Unlock()
+	return spans
+}

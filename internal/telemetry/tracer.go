@@ -80,6 +80,15 @@ func (t *Tracer) Start(name string) *Span {
 	return &Span{t: t, id: id, name: name, start: t.obs.now()}
 }
 
+// Name returns the span's name ("" for a nil span). Checkpoint/resume
+// code uses it to match restored open-span handles to pipeline stages.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
 // End closes the span, emits a span_end event carrying the wall-clock
 // duration, and folds the duration into the per-stage aggregate. Returns
 // the duration (0 for a nil span).

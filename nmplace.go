@@ -33,6 +33,7 @@
 package nmplace
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -114,11 +115,34 @@ func NewObserver(sink io.Writer) *Observer { return telemetry.NewObserver(sink) 
 // AllTechniques enables MCI, DC and DPA — the full paper configuration.
 func AllTechniques() Techniques { return core.AllTechniques() }
 
+// ErrCheckpointed is returned by PlaceContext/Resume when the run stopped
+// at the scheduled Options.CheckpointAfter point after writing its state to
+// Options.CheckpointPath. It signals a successful pause, not a failure.
+var ErrCheckpointed = core.ErrCheckpointed
+
 // Place runs the selected placer on d in place (cell positions are
 // overwritten) and returns the run report. The flow follows the paper's
 // Fig. 2: wirelength-driven global placement, the routability-driven loop,
 // legalization, detailed placement, and a final routing evaluation.
 func Place(d *Design, opt Options) (*Result, error) { return core.Place(d, opt) }
+
+// PlaceContext is Place with cooperative cancellation and checkpointing:
+// when ctx is cancelled the run stops within one optimizer step or one
+// router round, writes a checkpoint when Options.CheckpointPath is set, and
+// returns the partial Result with ctx.Err(). With Options.CheckpointAfter
+// set, the run instead stops at that pipeline point with ErrCheckpointed.
+func PlaceContext(ctx context.Context, d *Design, opt Options) (*Result, error) {
+	return core.PlaceContext(ctx, d, opt)
+}
+
+// Resume continues a checkpointed run from the serialized state in ck,
+// completing it to a final placement byte-identical to the uninterrupted
+// run's. d must be the design the checkpoint was taken on; opt supplies the
+// environment (Workers, Log, Observer, further checkpointing) while the
+// checkpoint is authoritative for the run-defining options.
+func Resume(ctx context.Context, d *Design, ck io.Reader, opt Options) (*Result, error) {
+	return core.ResumeContext(ctx, d, ck, opt)
+}
 
 // Evaluate routes d's current placement at high effort and returns the
 // DRWL/#DRVias/#DRVs scorecard without moving any cell.
