@@ -133,6 +133,13 @@ type PlacementState struct {
 	rtr        *route.Router // constructed once, Reset per route iteration
 	gamma0     float64
 	routeStats parallel.Timing
+	costStats  parallel.Timing // router cost-field build timing
+
+	// Position-delta feed for the router's incremental decomposition: the
+	// cell positions as of the previous route call and the per-cell moved
+	// mask handed to the router (both reused each iteration).
+	lastRoutedPos []float64
+	movedMask     []bool
 
 	// Routability-loop runtime, built by the loop prologue on a fresh run
 	// or by restore when resuming into the middle of the loop.
@@ -362,6 +369,7 @@ func (ps *PlacementState) finishTelemetry() {
 		obs.VolatileGauge("parallel.poisson.speedup").Set(pstats.Speedup())
 	}
 	obs.VolatileGauge("parallel.route.speedup").Set(ps.routeStats.Speedup())
+	obs.VolatileGauge("parallel.route.costfield").Set(ps.costStats.Speedup())
 	res.StageTimings = obs.Tracer.StageTimings()
 }
 
@@ -594,12 +602,16 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 	}
 	// One router for the whole loop: constructing the demand/history grids
 	// per iteration was pure allocation churn — RouteContext resets them in
-	// place, with byte-identical results.
+	// place, with byte-identical results. A checkpoint restore pre-creates
+	// the router (to rebuild its decomposition cache), so the wiring below
+	// is unconditional.
 	if ps.rtr == nil {
 		ps.rtr = route.NewRouter(d, ps.grid)
-		ps.rtr.Trace = ps.tr
-		ps.rtr.Workers = opt.Workers
 	}
+	ps.rtr.Trace = ps.tr
+	ps.rtr.Workers = opt.Workers
+	ps.rtr.CacheHits = obs.Counter("route.decompose_cache_hits")
+	ps.rtr.DirtyNets = obs.Counter("route.dirty_nets")
 
 	for it := ps.cur.iter; it < opt.MaxRouteIters; it++ {
 		fromStep := -1
@@ -617,6 +629,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 			}
 			itSp = obs.StartSpan("route_iter")
 			ps.obj.scatter(ps.optm.U())
+			ps.feedPositionDelta()
 			sp := obs.StartSpan("route")
 			rres, err := ps.rtr.RouteContext(ctx)
 			if err != nil {
@@ -751,7 +764,33 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 	d.ClampToDie()
 	ps.dens.ClampFillers()
 	ps.routeStats.Add(ps.rtr.Stats())
+	ps.costStats.Add(ps.rtr.CostFieldStats())
 	return nil
+}
+
+// feedPositionDelta hands the router an exact-position-comparison moved-cells
+// mask so its incremental decomposition can skip signature checks for nets
+// whose cells did not move at all. The first call (and the first call after
+// a checkpoint restore) only snapshots positions — the router then checks
+// every signature, which by the mask-independence of the cache counters
+// yields byte-identical results and counter values, so the snapshot needs no
+// serialization.
+func (ps *PlacementState) feedPositionDelta() {
+	d := ps.D
+	if len(ps.lastRoutedPos) != 2*len(d.Cells) {
+		ps.lastRoutedPos = d.SnapshotPositions()
+		ps.movedMask = make([]bool, len(d.Cells))
+		return
+	}
+	for i := range d.Cells {
+		moved := d.Cells[i].X != ps.lastRoutedPos[2*i] || d.Cells[i].Y != ps.lastRoutedPos[2*i+1]
+		ps.movedMask[i] = moved
+		if moved {
+			ps.lastRoutedPos[2*i] = d.Cells[i].X
+			ps.lastRoutedPos[2*i+1] = d.Cells[i].Y
+		}
+	}
+	ps.rtr.SetMovedCells(ps.movedMask)
 }
 
 // legalizeStage snaps the global placement onto legal rows/sites. On

@@ -18,7 +18,7 @@ package core
 //	opts <grid> <maxwl> <wlstop> <maxroute> <steps> <patience> <skipleg> <skipdet>
 //	design <cells> <nets> <pins> <rails> <lox> <loy> <hix> <hiy>
 //	result <wliters> <routeiters> <finaloverflow> <hpwlglobal> <hpwllegal> <legdisp>
-//	vec conghist / cellpos / nes.* / fillers / infl.* / bestx / pgrho / cong.*
+//	vec conghist / cellpos / nes.* / fillers / infl.* / bestx / pgrho / cong.* / rtr.pincell
 //	gp <gamma> <lambda1> <lambda2> <lastwl> <lastoverflow> <lastwlgradl1>
 //	nesterov <a> <first> <steps>
 //	loop <bestc> <stall>
@@ -43,6 +43,7 @@ import (
 	"repro/internal/nesterov"
 	"repro/internal/netlist"
 	"repro/internal/pgrail"
+	"repro/internal/route"
 	"repro/internal/telemetry"
 )
 
@@ -96,6 +97,11 @@ type checkpoint struct {
 	PGRho              []float64
 	HasCong            bool
 	CongUtil, CongCong []float64
+	// Router decomposition-cache key: the per-pin G-cell signature (int32
+	// values, stored as floats — %g round-trips them exactly). Empty when
+	// the router had not routed yet. Restore rebuilds the entire cache from
+	// it, so resumed cache-hit/dirty-net counters continue exactly.
+	RtrPinCell []float64
 
 	// Telemetry continuation state (present when the run had an Observer).
 	Tel *telemetry.ObserverState
@@ -160,6 +166,14 @@ func (ps *PlacementState) capture() *checkpoint {
 			if util, cong := ps.cong.State(); util != nil {
 				ck.HasCong = true
 				ck.CongUtil, ck.CongCong = util, cong
+			}
+		}
+		if ps.rtr != nil {
+			if sig := ps.rtr.DecompositionSignature(); sig != nil {
+				ck.RtrPinCell = make([]float64, len(sig))
+				for i, q := range sig {
+					ck.RtrPinCell[i] = float64(q)
+				}
 			}
 		}
 	}
@@ -247,6 +261,7 @@ func writeCheckpoint(w io.Writer, ck *checkpoint) error {
 			writeVec(bw, "cong.util", ck.CongUtil)
 			writeVec(bw, "cong.cong", ck.CongCong)
 		}
+		writeVec(bw, "rtr.pincell", ck.RtrPinCell)
 	}
 	if ck.Tel != nil {
 		st := ck.Tel
@@ -585,6 +600,8 @@ func (ck *checkpoint) assignVec(name string, v []float64) error {
 		ck.CongUtil = v
 	case "cong.cong":
 		ck.CongCong = v
+	case "rtr.pincell":
+		ck.RtrPinCell = v
 	default:
 		return fmt.Errorf("unknown vector %q", name)
 	}
@@ -808,6 +825,16 @@ func (ps *PlacementState) restoreLoop(ck *checkpoint) error {
 				len(ck.CongUtil), len(ck.CongCong), ps.grid.NX, ps.grid.NY)
 		}
 		ps.cong.Restore(ck.CongUtil, ck.CongCong)
+	}
+	if len(ck.RtrPinCell) > 0 {
+		sig := make([]int32, len(ck.RtrPinCell))
+		for i, v := range ck.RtrPinCell {
+			sig[i] = int32(v)
+		}
+		ps.rtr = route.NewRouter(d, ps.grid)
+		if err := ps.rtr.RestoreDecomposition(sig); err != nil {
+			return fmt.Errorf("core: resume: %w", err)
+		}
 	}
 	ps.loopReady = true
 	return nil

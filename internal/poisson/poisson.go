@@ -44,6 +44,9 @@ type Solver struct {
 	coef   []float64                     // DCT-II coefficients of ρ, then scaled for ψ
 	coefEx []float64                     // coefficients scaled for Ex
 	coefEy []float64                     // coefficients scaled for Ey
+	fil    []float64                     // spectral filter c_u·c_v/(nx·ny·(w_u²+w_v²))
+	filEx  []float64                     // fil · w_u (Ex differentiation)
+	filEy  []float64                     // fil · w_v (Ey differentiation)
 	colBuf [parallel.NumShards][]float64 // per-shard column gather, length max(nx, ny)
 	colOut [parallel.NumShards][]float64
 	tmpA   []float64 // nx*ny intermediates
@@ -76,6 +79,9 @@ func NewSolver(nx, ny int) *Solver {
 		coef:   make([]float64, nx*ny),
 		coefEx: make([]float64, nx*ny),
 		coefEy: make([]float64, nx*ny),
+		fil:    make([]float64, nx*ny),
+		filEx:  make([]float64, nx*ny),
+		filEy:  make([]float64, nx*ny),
 		tmpA:   make([]float64, nx*ny),
 		tmpB:   make([]float64, nx*ny),
 		tmpC:   make([]float64, nx*ny),
@@ -97,6 +103,33 @@ func NewSolver(nx, ny int) *Solver {
 	}
 	for v := 0; v < ny; v++ {
 		s.wy[v] = math.Pi * float64(v) / float64(ny)
+	}
+	// Precompute the spectral filter tables: the per-mode scale factor
+	// c_u·c_v/(nx·ny·(w_u²+w_v²)) and its w_u/w_v-differentiated variants
+	// depend only on the grid, so Solve's scale pass reduces to three
+	// multiplies per coefficient — no divides in the hot loop. The (0,0)
+	// mode stays zero (compatibility condition). Note the precomputed
+	// association groups the constants first, which can differ from the
+	// historical per-solve expression by an ulp or two.
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			i := v*nx + u
+			if u == 0 && v == 0 {
+				continue
+			}
+			cu, cv := 2.0, 2.0
+			if u == 0 {
+				cu = 1
+			}
+			if v == 0 {
+				cv = 1
+			}
+			w2 := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
+			f := cu * cv / (float64(nx) * float64(ny) * w2)
+			s.fil[i] = f
+			s.filEx[i] = f * s.wx[u]
+			s.filEy[i] = f * s.wy[v]
+		}
 	}
 	return s
 }
@@ -158,30 +191,19 @@ func (s *Solver) Solve(rho []float64, g *Grid) {
 		}
 	}))
 
-	// Scale coefficients. The synthesis basis needs the DCT normalization
-	// c_u·c_v/(nx·ny) with c_0 = 1, c_{u>0} = 2, and ψ's spectral filter
-	// 1/(w_u²+w_v²). The (0,0) mode is dropped (compatibility condition).
-	// Disjoint writes per coefficient row.
+	// Scale coefficients by the precomputed spectral filter tables (DCT
+	// normalization, ψ's 1/(w_u²+w_v²) filter, and the E-field
+	// differentiation factors, all baked in at construction). The (0,0)
+	// entries of the tables are zero, which drops the DC mode
+	// (compatibility condition). Disjoint writes per coefficient row.
 	s.stats.Add(parallel.For(s.Workers, ny, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			for u := 0; u < nx; u++ {
 				i := v*nx + u
-				if u == 0 && v == 0 {
-					s.coef[i], s.coefEx[i], s.coefEy[i] = 0, 0, 0
-					continue
-				}
-				cu, cv := 2.0, 2.0
-				if u == 0 {
-					cu = 1
-				}
-				if v == 0 {
-					cv = 1
-				}
-				w2 := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
-				b := s.coef[i] * cu * cv / (float64(nx) * float64(ny) * w2)
-				s.coef[i] = b
-				s.coefEx[i] = b * s.wx[u]
-				s.coefEy[i] = b * s.wy[v]
+				c := s.coef[i]
+				s.coef[i] = c * s.fil[i]
+				s.coefEx[i] = c * s.filEx[i]
+				s.coefEy[i] = c * s.filEy[i]
 			}
 		}
 	}))

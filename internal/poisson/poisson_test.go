@@ -1,6 +1,7 @@
 package poisson
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -226,5 +227,26 @@ func BenchmarkSolve256(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Solve(rho, g)
+	}
+}
+
+// BenchmarkPoissonSolve is the CI bench-smoke entry point for the solver
+// (picked up by the Route|Poisson benchmark filter); it exercises the
+// placer's common 128- and 256-bin grids.
+func BenchmarkPoissonSolve(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			s := NewSolver(n, n)
+			rho := make([]float64, n*n)
+			for i := range rho {
+				rho[i] = float64(i%13) * 0.1
+			}
+			g := s.NewGrid()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Solve(rho, g)
+			}
+		})
 	}
 }

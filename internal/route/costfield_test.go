@@ -1,0 +1,203 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/synth"
+)
+
+// TestCostFieldMatchesNaiveRunCost: the prefix-sum run costs must agree with
+// the naive cellCost-summing reference on randomized demand grids. The two
+// round differently (prefix difference vs left-to-right sum), so the bound
+// is a tight relative tolerance, not bitwise equality.
+func TestCostFieldMatchesNaiveRunCost(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	r := NewRouter(d, g)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		for i := range r.dmdH {
+			r.dmdH[i] = rng.Float64() * 30
+			r.dmdV[i] = rng.Float64() * 30
+			r.dmdVia[i] = rng.Float64() * 5
+			r.hist[i] = rng.Float64() * 2
+		}
+		r.buildCostField()
+		for run := 0; run < 2000; run++ {
+			x1, y1 := rng.Intn(g.NX), rng.Intn(g.NY)
+			var x2, y2 int
+			if rng.Intn(2) == 0 {
+				x2, y2 = rng.Intn(g.NX), y1 // horizontal
+			} else {
+				x2, y2 = x1, rng.Intn(g.NY) // vertical
+			}
+			naive := r.runCost(x1, y1, x2, y2)
+			fast := r.cf.runCost(x1, y1, x2, y2)
+			if tol := 1e-9 * (1 + math.Abs(naive)); math.Abs(naive-fast) > tol {
+				t.Fatalf("trial %d run (%d,%d)-(%d,%d): prefix-sum cost %v, naive %v (diff %v > tol %v)",
+					trial, x1, y1, x2, y2, fast, naive, math.Abs(naive-fast), tol)
+			}
+		}
+	}
+}
+
+// TestCostFieldIdenticalAcrossWorkers: the build is disjoint-row/column
+// parallel, so the tables must be bitwise identical at any worker count.
+func TestCostFieldIdenticalAcrossWorkers(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	build := func(workers int) *Router {
+		r := NewRouter(d, g)
+		r.Workers = workers
+		rng := rand.New(rand.NewSource(11))
+		for i := range r.dmdH {
+			r.dmdH[i] = rng.Float64() * 40
+			r.dmdV[i] = rng.Float64() * 40
+			r.hist[i] = rng.Float64()
+		}
+		// Force the parallel path regardless of grid size.
+		r.cfStats.Add(parallel.For(workers, r.cf.ny, r.cfRows))
+		r.cfStats.Add(parallel.For(workers, r.cf.nx, r.cfCols))
+		return r
+	}
+	ref := build(1)
+	for _, w := range []int{2, 16, 0} {
+		got := build(w)
+		for i := range ref.cf.rowPS {
+			if math.Float64bits(got.cf.rowPS[i]) != math.Float64bits(ref.cf.rowPS[i]) {
+				t.Fatalf("workers=%d: rowPS[%d] differs bitwise from serial", w, i)
+			}
+		}
+		for i := range ref.cf.colPS {
+			if math.Float64bits(got.cf.colPS[i]) != math.Float64bits(ref.cf.colPS[i]) {
+				t.Fatalf("workers=%d: colPS[%d] differs bitwise from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestZeroCapacityCellSafe: a G-cell with zero total capacity (fully blocked
+// by a macro) must produce finite costs, finite overflow history, and a
+// finite result — the historical code divided by capTot unguarded and
+// produced ±Inf/NaN.
+func TestZeroCapacityCellSafe(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	for l := range g.Cap {
+		for y := 10; y < 14; y++ {
+			for x := 10; x < 14; x++ {
+				g.Cap[l][y*g.NX+x] = 0
+			}
+		}
+	}
+	r := NewRouter(d, g)
+	free := r.cellCost(0)
+	for y := 10; y < 14; y++ {
+		for x := 10; x < 14; x++ {
+			c := r.cellCost(y*g.NX + x)
+			if math.IsInf(c, 0) || math.IsNaN(c) {
+				t.Fatalf("cellCost at blocked (%d,%d) is %v", x, y, c)
+			}
+			if c <= free {
+				t.Fatalf("blocked cell costs %v, free cell %v — blocked must be more expensive", c, free)
+			}
+		}
+	}
+	r.Rounds = 3 // exercise the overflow-history accumulation too
+	res := r.Route()
+	for i := range res.Util {
+		if math.IsInf(res.Util[i], 0) || math.IsNaN(res.Util[i]) {
+			t.Fatalf("Util[%d] = %v", i, res.Util[i])
+		}
+		if math.IsInf(res.Congestion[i], 0) || math.IsNaN(res.Congestion[i]) {
+			t.Fatalf("Congestion[%d] = %v", i, res.Congestion[i])
+		}
+	}
+	for i, h := range r.hist {
+		if math.IsInf(h, 0) || math.IsNaN(h) {
+			t.Fatalf("hist[%d] = %v", i, h)
+		}
+	}
+	if math.IsInf(res.WirelengthDBU, 0) || math.IsNaN(res.WirelengthDBU) {
+		t.Fatalf("WL = %v", res.WirelengthDBU)
+	}
+}
+
+// TestRouteSteadyStateZeroAlloc: after warm-up, a repeated route call on
+// unchanged positions allocates nothing — the decomposition cache, cost
+// field, scratch and Result are all reused (Workers=1 keeps the shard layer
+// from spawning goroutines, which is the documented serial path).
+func TestRouteSteadyStateZeroAlloc(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	r := NewRouter(d, g)
+	r.Workers = 1
+	r.Route()
+	r.Route()
+	if allocs := testing.AllocsPerRun(5, func() { r.Route() }); allocs != 0 {
+		t.Fatalf("steady-state Route allocates %v times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkRoute measures the hot route call: cold constructs a fresh router
+// per call (the evaluation oracle's pattern), steady reuses one router on
+// unchanged positions (the routability loop's pattern between placements
+// drifting less than a G-cell).
+func BenchmarkRoute(b *testing.B) {
+	for _, tc := range []struct {
+		name, design string
+		hint         int
+	}{
+		{"tiny_hot32", "tiny_hot", 32},
+		{"fft1_64", "fft_1", 64},
+	} {
+		d := synth.MustGenerate(tc.design)
+		g := NewGrid(d, tc.hint)
+		b.Run(tc.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				NewRouter(d, g).Route()
+			}
+		})
+		b.Run(tc.name+"/steady", func(b *testing.B) {
+			r := NewRouter(d, g)
+			r.Workers = 1
+			r.Route()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Route()
+			}
+		})
+	}
+}
+
+// BenchmarkDecompose measures net decomposition: full rebuilds the whole
+// cache (first-call cost), warm re-validates it against unchanged positions
+// (the per-iteration steady state).
+func BenchmarkDecompose(b *testing.B) {
+	d := synth.MustGenerate("fft_1")
+	g := NewGrid(d, 64)
+	b.Run("full", func(b *testing.B) {
+		r := NewRouter(d, g)
+		r.updateDecomposition()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Invalidate()
+			r.updateDecomposition()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		r := NewRouter(d, g)
+		r.updateDecomposition()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.updateDecomposition()
+		}
+	})
+}

@@ -186,11 +186,15 @@ func (r *Result) DemandTotal(i int) float64 {
 }
 
 // finalize computes congestion, utilization and overflow from the demand.
+// The output slices are reused across calls on the same Result (the router
+// refills one Result per call; see Route's ownership contract).
 func (r *Result) finalize() {
 	g := r.Grid
 	n := g.NX * g.NY
-	r.Congestion = make([]float64, n)
-	r.Util = make([]float64, n)
+	if len(r.Congestion) != n {
+		r.Congestion = make([]float64, n)
+		r.Util = make([]float64, n)
+	}
 	r.OverflowTotal = 0
 	r.OverflowCells = 0
 	r.MaxUtil = 0
@@ -207,6 +211,7 @@ func (r *Result) finalize() {
 		if u > r.MaxUtil {
 			r.MaxUtil = u
 		}
+		r.Congestion[i] = 0
 		if c := u - 1; c > 0 {
 			r.Congestion[i] = c
 			r.OverflowTotal += dmd - cap

@@ -58,11 +58,12 @@ func (r *Router) RouteWithMaze(maxReroutes int) *Result {
 		}
 	}
 
-	// Re-decompose and find segments crossing overflowed cells. The router
-	// does not store per-segment paths (they are cheap to re-derive from the
-	// cost structure), so rip-up is approximated: remove the segment's best
-	// pattern demand, then maze-route it.
-	segs := r.decompose()
+	// Walk the cached decomposition (in net order, as the historical
+	// re-decomposition produced) and find segments crossing overflowed
+	// cells. The router does not store per-segment paths (they are cheap to
+	// re-derive from the cost structure), so rip-up is approximated: remove
+	// the segment's best pattern demand, then maze-route it.
+	segs := r.netOrderSegments()
 	ms := &mazeState{
 		r:    r,
 		dist: make([]float64, n),
@@ -84,8 +85,9 @@ func (r *Router) RouteWithMaze(maxReroutes int) *Result {
 		path := ms.dijkstra(s)
 		if path == nil {
 			// Could not route (should not happen on a connected grid);
-			// restore the pattern.
-			wl, vias := r.commitSegment(s, r.chooseSegment(s))
+			// restore the pattern. Priced against live demand — the batch
+			// cost field is stale here.
+			wl, vias := r.commitSegment(s, r.chooseSegmentRef(s))
 			wlDelta += wl - oldWL
 			viaDelta += vias - oldVias
 			continue
@@ -292,16 +294,29 @@ func (r *Router) commitPath(path []int32) (float64, int) {
 }
 
 // assembleResult converts the router's current 2-D demand into a full Result
-// (shared by Route and RouteWithMaze).
+// (shared by Route and RouteWithMaze). The Result and its slices are
+// router-owned and refilled in place on every call — see Route's ownership
+// contract.
 func (r *Router) assembleResult(wl float64, vias int) *Result {
 	n := r.g.NX * r.g.NY
-	res := &Result{Grid: r.g, WirelengthDBU: wl, Vias: vias}
-	res.Dmd = make([][]float64, r.g.Layers)
-	for l := range res.Dmd {
-		res.Dmd[l] = make([]float64, n)
+	res := r.res
+	if res == nil {
+		res = &Result{Grid: r.g}
+		res.Dmd = make([][]float64, r.g.Layers)
+		for l := range res.Dmd {
+			res.Dmd[l] = make([]float64, n)
+		}
+		r.res = res
 	}
-	hl := r.g.DirLayers(Horizontal)
-	vl := r.g.DirLayers(Vertical)
+	res.WirelengthDBU = wl
+	res.Vias = vias
+	for l := range res.Dmd {
+		dl := res.Dmd[l]
+		for i := range dl {
+			dl[i] = 0
+		}
+	}
+	hl, vl := r.hl, r.vl
 	for i := 0; i < n; i++ {
 		var hCap, vCap float64
 		for _, l := range hl {

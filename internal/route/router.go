@@ -3,11 +3,9 @@ package route
 import (
 	"context"
 	"math"
-	"sort"
 
 	"repro/internal/netlist"
 	"repro/internal/parallel"
-	"repro/internal/steiner"
 	"repro/internal/telemetry"
 )
 
@@ -29,6 +27,12 @@ const chooseBatch = 256
 // chosen patterns are committed serially in segment order. Batch boundaries
 // depend only on the segment count, so results are byte-identical for every
 // worker count.
+//
+// The router is built to be called repeatedly on the same design (the
+// routability loop routes once per iteration): net decomposition is cached
+// incrementally (cache.go), run costs come from per-batch prefix-sum fields
+// (costfield.go), and the steady state allocates nothing — all scratch,
+// including the returned Result, is router-owned and reused.
 type Router struct {
 	// Workers caps the goroutines used in the candidate-choice phase; 0
 	// selects runtime.NumCPU(), 1 runs fully serial. Any setting produces
@@ -56,14 +60,36 @@ type Router struct {
 	// each rip-up-and-reroute round.
 	Trace *telemetry.Tracer
 
+	// CacheHits and DirtyNets count, per decomposition pass, the nets served
+	// from the incremental cache and the nets re-decomposed. Nil-safe: a
+	// router without telemetry leaves them nil. The counts are deterministic
+	// (independent of workers and of the SetMovedCells hint), so they live
+	// in the canonical trace.
+	CacheHits *telemetry.Counter
+	DirtyNets *telemetry.Counter
+
 	hist   []float64 // accumulated overflow history per G-cell
 	dmdH   []float64 // current horizontal wire demand (2-D)
 	dmdV   []float64 // current vertical wire demand (2-D)
 	dmdVia []float64 // current via demand (2-D)
 	capTot []float64 // cached total capacity per G-cell
+	hl, vl []int     // cached DirLayers results (assembleResult is hot)
 
 	choices []int32         // per-batch chosen candidate index
 	stats   parallel.Timing // accumulated cost of the choice phases
+	cfStats parallel.Timing // accumulated cost of the cost-field builds
+
+	cf    costField
+	dc    decompCache
+	moved []bool  // position-delta hint for the next route call (consumed)
+	batch []sseg  // current choice batch (field, so chooseFn needs no closure churn)
+	res   *Result // reused result; see Route for the ownership contract
+
+	// Hot-loop worker functions, bound once at construction so the per-batch
+	// parallel.For calls allocate no closures.
+	chooseFn func(shard, lo, hi int)
+	cfRows   func(shard, lo, hi int)
+	cfCols   func(shard, lo, hi int)
 }
 
 // NewRouter creates a router with the default knobs.
@@ -86,12 +112,61 @@ func NewRouter(d *netlist.Design, g *Grid) *Router {
 	for i := 0; i < n; i++ {
 		r.capTot[i] = g.CapTotal(i)
 	}
+	r.hl = g.DirLayers(Horizontal)
+	r.vl = g.DirLayers(Vertical)
+	r.cf.init(g.NX, g.NY)
+	r.chooseFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r.choices[i] = int32(r.chooseSegment(r.batch[i].segment))
+		}
+	}
+	r.cfRows = func(_, lo, hi int) {
+		nx := r.cf.nx
+		for y := lo; y < hi; y++ {
+			row := y * nx
+			base := y * (nx + 1)
+			s := 0.0
+			r.cf.rowPS[base] = 0
+			for x := 0; x < nx; x++ {
+				c := r.cellCost(row + x)
+				r.cf.cost[row+x] = c
+				s += c
+				r.cf.rowPS[base+x+1] = s
+			}
+		}
+	}
+	r.cfCols = func(_, lo, hi int) {
+		nx, ny := r.cf.nx, r.cf.ny
+		for x := lo; x < hi; x++ {
+			base := x * (ny + 1)
+			s := 0.0
+			r.cf.colPS[base] = 0
+			for y := 0; y < ny; y++ {
+				s += r.cf.cost[y*nx+x]
+				r.cf.colPS[base+y+1] = s
+			}
+		}
+	}
 	return r
 }
 
 // Stats returns the accumulated wall/busy time of the parallel
 // candidate-choice phases (telemetry: the parallel.route speedup gauge).
 func (r *Router) Stats() parallel.Timing { return r.stats }
+
+// CostFieldStats returns the accumulated wall/busy time of the prefix-sum
+// cost-field builds (telemetry: the parallel.route.costfield gauge).
+func (r *Router) CostFieldStats() parallel.Timing { return r.cfStats }
+
+// SetMovedCells hands the router a conservative position-delta hint for the
+// NEXT route call: a cell not flagged true must not have changed position
+// since the previous route call on this router, so none of its pins can
+// have crossed a G-cell boundary and nets touching only unflagged cells
+// skip the signature check. nil (and any router that is never given a
+// hint) means "unknown — check every net". The hint is consumed by one
+// route call and is performance-only: routes and the CacheHits/DirtyNets
+// counters are identical with or without it.
+func (r *Router) SetMovedCells(moved []bool) { r.moved = moved }
 
 // Reset clears the per-call routing state — the rip-up-and-reroute overflow
 // history and the demand maps — returning the router to its
@@ -100,7 +175,9 @@ func (r *Router) Stats() parallel.Timing { return r.stats }
 // iterations of a placement run (the routability loop constructs a single
 // Router and routes it once per iteration) with results byte-identical to
 // constructing a new Router each time. The accumulated Stats timing is
-// deliberately kept: it is cumulative, wall-clock-only telemetry.
+// deliberately kept (cumulative, wall-clock-only telemetry), and so is the
+// decomposition cache — it depends only on pin positions, which Reset does
+// not touch.
 func (r *Router) Reset() {
 	for i := range r.hist {
 		r.hist[i] = 0
@@ -118,6 +195,12 @@ type segment struct {
 
 // Route routes every net from the current cell positions and returns the
 // demand and congestion maps.
+//
+// Ownership: the returned Result is router-owned and reused — it stays
+// valid until the next Route/RouteContext/RouteWithMaze call on the same
+// Router, which overwrites it in place. Callers that need a longer-lived
+// snapshot must copy the fields they keep (the placement pipeline consumes
+// each result within its route iteration).
 func (r *Router) Route() *Result {
 	res, _ := r.RouteContext(context.Background())
 	return res
@@ -129,12 +212,16 @@ func (r *Router) Route() *Result {
 // (nil, ctx.Err()) — the router's internal demand state is left partial,
 // but Route/RouteContext reset it on entry, so an aborted call has no
 // effect on any later call. Routing never mutates the design, so a caller
-// observing an error can simply drop the call.
+// observing an error can simply drop the call. The Result ownership
+// contract of Route applies.
 func (r *Router) RouteContext(ctx context.Context) (*Result, error) {
 	sp := r.Trace.Start("route.decompose")
-	segs := r.decompose()
-	// Short segments first: they have the fewest detour options.
-	sort.SliceStable(segs, func(i, j int) bool { return segs[i].lenEst < segs[j].lenEst })
+	// Incremental: only nets whose pins crossed a G-cell boundary since the
+	// previous call are re-decomposed; the sorted order (short segments
+	// first — they have the fewest detour options) is restored by a stable
+	// merge instead of a full re-sort.
+	r.updateDecomposition()
+	segs := r.dc.sorted
 	sp.End()
 
 	n := r.g.NX * r.g.NY
@@ -159,31 +246,37 @@ func (r *Router) RouteContext(ctx context.Context) (*Result, error) {
 			if hi > len(segs) {
 				hi = len(segs)
 			}
-			batch := segs[lo:hi]
+			r.batch = segs[lo:hi]
+			// The batch's frozen demand snapshot, as O(1) prefix sums.
+			r.buildCostField()
 			// Choice phase: every segment in the batch reads the same
-			// frozen demand state; writes (one choice slot per segment)
+			// frozen cost field; writes (one choice slot per segment)
 			// are disjoint, so any worker count picks the same patterns.
-			t, err := parallel.ForCtx(ctx, r.Workers, len(batch), func(_, blo, bhi int) {
-				for i := blo; i < bhi; i++ {
-					r.choices[i] = int32(r.chooseSegment(batch[i]))
-				}
-			})
+			t, err := parallel.ForCtx(ctx, r.Workers, len(r.batch), r.chooseFn)
 			r.stats.Add(t)
 			if err != nil {
 				rsp.End()
 				return nil, err
 			}
 			// Commit phase: serial, in segment order.
-			for i, s := range batch {
-				dw, dv := r.commitSegment(s, int(r.choices[i]))
+			for i := range r.batch {
+				dw, dv := r.commitSegment(r.batch[i].segment, int(r.choices[i]))
 				wl += dw
 				vias += dv
 			}
 		}
 		if round < r.Rounds-1 {
-			// Accumulate overflow history for the next round.
+			// Accumulate overflow history for the next round. A
+			// zero-capacity G-cell counts as hard-overflowed (utilization 2,
+			// Result.finalize's convention) instead of dividing by zero.
 			for i := 0; i < n; i++ {
-				u := (r.dmdH[i] + r.dmdV[i] + r.dmdVia[i]) / r.capTot[i]
+				dmd := r.dmdH[i] + r.dmdV[i] + r.dmdVia[i]
+				var u float64
+				if cap := r.capTot[i]; cap > 0 {
+					u = dmd / cap
+				} else if dmd > 0 {
+					u = 2
+				}
 				if u > 1 {
 					r.hist[i] += 2 * (u - 1)
 				}
@@ -201,83 +294,6 @@ func (r *Router) RouteContext(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// decompose converts every net into MST two-pin segments in G-cell space.
-func (r *Router) decompose() []segment {
-	var segs []segment
-	for e := range r.d.Nets {
-		net := &r.d.Nets[e]
-		deg := net.Degree()
-		if deg < 2 {
-			continue
-		}
-		// Collect pin G-cells, deduplicated.
-		type gp struct{ x, y int }
-		pts := make([]gp, 0, deg)
-		seen := make(map[gp]bool, deg)
-		for _, pi := range net.Pins {
-			p := r.d.PinPos(pi)
-			cx, cy := r.g.CellAt(p.X, p.Y)
-			q := gp{cx, cy}
-			if !seen[q] {
-				seen[q] = true
-				pts = append(pts, q)
-			}
-		}
-		if len(pts) < 2 {
-			continue
-		}
-		if len(pts) == 2 {
-			segs = append(segs, newSegment(pts[0].x, pts[0].y, pts[1].x, pts[1].y))
-			continue
-		}
-		if r.UseSteiner {
-			spts := make([]steiner.Point, len(pts))
-			for i, p := range pts {
-				spts[i] = steiner.Point{X: p.x, Y: p.y}
-			}
-			nodes, edges, _ := steiner.Tree(spts)
-			for _, e := range edges {
-				a, b := nodes[e.A], nodes[e.B]
-				segs = append(segs, newSegment(a.X, a.Y, b.X, b.Y))
-			}
-			continue
-		}
-		// Prim MST on Manhattan distance.
-		inTree := make([]bool, len(pts))
-		dist := make([]int, len(pts))
-		parent := make([]int, len(pts))
-		for i := range dist {
-			dist[i] = math.MaxInt32
-			parent[i] = -1
-		}
-		dist[0] = 0
-		for iter := 0; iter < len(pts); iter++ {
-			best, bd := -1, math.MaxInt32
-			for i := range pts {
-				if !inTree[i] && dist[i] < bd {
-					best, bd = i, dist[i]
-				}
-			}
-			inTree[best] = true
-			if parent[best] >= 0 {
-				a, b := pts[parent[best]], pts[best]
-				segs = append(segs, newSegment(a.x, a.y, b.x, b.y))
-			}
-			for i := range pts {
-				if inTree[i] {
-					continue
-				}
-				d := abs(pts[i].x-pts[best].x) + abs(pts[i].y-pts[best].y)
-				if d < dist[i] {
-					dist[i] = d
-					parent[i] = best
-				}
-			}
-		}
-	}
-	return segs
-}
-
 func newSegment(x1, y1, x2, y2 int) segment {
 	return segment{x1, y1, x2, y2, abs(x1-x2) + abs(y1-y2)}
 }
@@ -291,8 +307,14 @@ func abs(a int) int {
 
 // cellCost is the congestion-aware cost of pushing one more track through
 // G-cell i: base distance 1 plus a soft overflow penalty plus RRR history.
+// A zero-capacity G-cell (fully blocked by a macro) is priced as
+// hard-overflowed (utilization 2) rather than dividing by zero, keeping
+// every cost finite and the cell maximally unattractive.
 func (r *Router) cellCost(i int) float64 {
-	u := (r.dmdH[i] + r.dmdV[i] + r.dmdVia[i]) / r.capTot[i]
+	u := 2.0
+	if cap := r.capTot[i]; cap > 0 {
+		u = (r.dmdH[i] + r.dmdV[i] + r.dmdVia[i]) / cap
+	}
 	c := 1.0 + r.hist[i]
 	if u > 0.8 {
 		p := u - 0.8
@@ -301,7 +323,10 @@ func (r *Router) cellCost(i int) float64 {
 	return c
 }
 
-// runCost sums cellCost over an inclusive horizontal or vertical run.
+// runCost sums cellCost over an inclusive horizontal or vertical run — the
+// naive O(length) reference for the prefix-sum cost field. The maze fallback
+// still prices with it (its demand state is live, not batch-frozen), and the
+// cross-check test holds the field to it.
 func (r *Router) runCost(x1, y1, x2, y2 int) float64 {
 	var c float64
 	if y1 == y2 {
@@ -413,10 +438,42 @@ func (r *Router) enumerate(s segment, out []candidate) []candidate {
 	return out
 }
 
-// chooseSegment picks the cheapest candidate for s against the current
-// demand state without modifying anything — safe to call concurrently for
-// segments of one batch. It returns the candidate index for commitSegment.
+// chooseSegment picks the cheapest candidate for s against the batch's
+// frozen cost field without modifying anything — safe to call concurrently
+// for segments of one batch. It returns the candidate index for
+// commitSegment. The caller must have built the cost field against the
+// current demand state (RouteContext does, at the top of every batch).
 func (r *Router) chooseSegment(s segment) int {
+	var buf [2 + 2*8]candidate
+	cands := r.enumerate(s, buf[:0])
+	bestIdx, bestCost := 0, math.Inf(1)
+	for i := range cands {
+		c := &cands[i]
+		cost := 0.0
+		for k := 0; k < c.nRuns; k++ {
+			run := c.runs[k]
+			cost += r.cf.runCost(run[0], run[1], run[2], run[3])
+		}
+		// Bend cells are visited by two runs; subtract the double count and
+		// charge the via instead. The snapshot cost keeps bends and runs on
+		// the identical frozen values.
+		for k := 0; k < c.nBend; k++ {
+			cost -= r.cf.cost[c.bends[k]]
+			cost += 2 * r.ViaDemand
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+// chooseSegmentRef is chooseSegment priced with the naive runCost reference
+// against the LIVE demand state. The maze fallback uses it (its demand has
+// drifted from whatever cost field was last built); the batched hot path
+// never does.
+func (r *Router) chooseSegmentRef(s segment) int {
 	var buf [2 + 2*8]candidate
 	cands := r.enumerate(s, buf[:0])
 	bestIdx, bestCost := 0, math.Inf(1)
@@ -427,8 +484,6 @@ func (r *Router) chooseSegment(s segment) int {
 			run := c.runs[k]
 			cost += r.runCost(run[0], run[1], run[2], run[3])
 		}
-		// Bend cells are visited by two runs; subtract the double count and
-		// charge the via instead.
 		for k := 0; k < c.nBend; k++ {
 			cost -= r.cellCost(c.bends[k])
 			cost += 2 * r.ViaDemand
