@@ -29,6 +29,18 @@
 //	-timeout d         cancel the run after duration d (e.g. 30s)
 //	-out f             write the final placement to f in the designio
 //	                   text format (only on a completed run)
+//
+// Robustness flags:
+//
+//	-guard p           numeric guardrail policy: off (default), warn,
+//	                   recover or fail — see DESIGN.md §9
+//	-guard-retries n   divergence-recovery retry budget for -guard recover
+//
+// Exit codes: 0 success (or scheduled checkpoint stop), 1 generic error,
+// 2 usage error, 3 cancelled/timed out, 4 corrupted checkpoint,
+// 5 degenerate design, 6 numeric guard failure (violation under -guard
+// fail, or recovery budget exhausted under -guard recover). Internal
+// errors never surface as raw panics; they print one line and exit 1.
 package main
 
 import (
@@ -42,11 +54,25 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/designio"
+	"repro/internal/guard"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	// A panic anywhere below becomes a one-line diagnostic: the CLI's
+	// contract is distinct exit codes and readable errors, never a raw
+	// stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "placer: internal error: %v\n", r)
+			code = 1
+		}
+	}()
 	design := flag.String("design", "fft_1", "design name from the synthetic catalog")
 	mode := flag.String("mode", "ours", "placer mode: xplace | xplace-route | ours")
 	verbose := flag.Bool("v", false, "log progress")
@@ -64,6 +90,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume the run saved in -checkpoint")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	outPath := flag.String("out", "", "write the final placement to this file (designio format)")
+	guardFlag := flag.String("guard", "", "numeric guardrail policy: off | warn | recover | fail")
+	guardRetries := flag.Int("guard-retries", 0, "divergence-recovery retry budget for -guard recover (0 = default)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -76,17 +104,23 @@ func main() {
 	}
 	if *resume && *ckptPath == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
-		os.Exit(2)
+		return 2
+	}
+	guardPolicy, err := guard.ParsePolicy(*guardFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+		return 2
 	}
 
 	d, err := synth.Generate(*design)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	opt := core.Options{GridHint: *grid, MaxRouteIters: *riters, Workers: *workers,
 		Tech:           core.Techniques{MCI: *mci, DC: *dc, DPA: *dpa},
-		CheckpointPath: *ckptPath, CheckpointAfter: *ckptAfter}
+		CheckpointPath: *ckptPath, CheckpointAfter: *ckptAfter,
+		Guard: guard.Config{Policy: guardPolicy, MaxRetries: *guardRetries}}
 	switch *mode {
 	case "xplace":
 		opt.Mode = core.ModeWirelength
@@ -96,7 +130,7 @@ func main() {
 		opt.Mode = core.ModeOurs
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(1)
+		return 2
 	}
 	if *verbose {
 		opt.Log = os.Stderr
@@ -115,7 +149,7 @@ func main() {
 		traceFile, err = os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		obs = telemetry.NewObserver(traceFile)
 	case *metrics:
@@ -132,13 +166,7 @@ func main() {
 
 	var res *core.Result
 	if *resume {
-		ckf, ferr := os.Open(*ckptPath)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
-		}
-		res, err = core.ResumeContext(ctx, d, ckf, opt)
-		ckf.Close()
+		res, err = core.ResumeFromFile(ctx, d, *ckptPath, opt)
 	} else {
 		res, err = core.PlaceContext(ctx, d, opt)
 	}
@@ -156,7 +184,7 @@ func main() {
 		closeTrace()
 		fmt.Fprintf(os.Stderr, "checkpointed at %q: state written to %s\n",
 			*ckptAfter, *ckptPath)
-		return
+		return 0
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		closeTrace()
 		fmt.Fprintf(os.Stderr, "run cancelled (%v) after %.2fs", err, res.PlaceTime.Seconds())
@@ -164,10 +192,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "; state written to %s — rerun with -resume to continue", *ckptPath)
 		}
 		fmt.Fprintln(os.Stderr)
-		os.Exit(3)
+		return 3
+	case errors.Is(err, core.ErrCheckpointCorrupt):
+		closeTrace()
+		fmt.Fprintf(os.Stderr, "placer: corrupted checkpoint: %v\n", err)
+		return 4
+	case errors.Is(err, core.ErrDegenerateDesign):
+		closeTrace()
+		fmt.Fprintf(os.Stderr, "placer: %v\n", err)
+		return 5
+	case errors.Is(err, guard.ErrBudgetExhausted), errors.Is(err, guard.ErrViolation):
+		closeTrace()
+		fmt.Fprintf(os.Stderr, "placer: numeric guard failure: %v\n", err)
+		return 6
 	case err != nil:
+		closeTrace()
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if obs != nil {
 		if err := obs.Flush(); err != nil {
@@ -186,7 +227,7 @@ func main() {
 		}
 		if ferr != nil {
 			fmt.Fprintf(os.Stderr, "out: %v\n", ferr)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -222,4 +263,5 @@ func main() {
 		}
 		fmt.Fprintf(out, "(* volatile: wall-clock/environment metric, excluded from canonical traces)\n")
 	}
+	return 0
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/congestion"
 	"repro/internal/density"
 	"repro/internal/geom"
+	"repro/internal/guard/inject"
 	"repro/internal/netlist"
 	"repro/internal/telemetry"
 	"repro/internal/wirelength"
@@ -45,6 +48,14 @@ type objective struct {
 	// poissonSolves counts the spectral density solves (telemetry); a nil
 	// counter is a no-op, keeping the disabled path allocation-free.
 	poissonSolves *telemetry.Counter
+
+	// evals counts Eval calls; it indexes the WA-gradient fault injection.
+	// There is exactly one Eval per nesterov.Step, so a checkpoint restore
+	// sets it from the serialized step count and injection indices stay
+	// comparable across resumed and uninterrupted runs. Retried (rolled-back)
+	// steps still advance it: indices count actual evaluations.
+	evals  int
+	inject *inject.Registry // nil in production
 }
 
 func newObjective(d *netlist.Design, wl *wirelength.Model, dens *density.Model, cong *congestion.Model) *objective {
@@ -88,10 +99,18 @@ func (o *objective) scatter(x []float64) {
 
 // Eval implements nesterov.Objective.
 func (o *objective) Eval(x, grad []float64) float64 {
+	evalIdx := o.evals
+	o.evals++
 	o.scatter(x)
 
 	zero(o.gWL)
 	wlVal := o.wl.EvaluateWithGrad(o.gWL)
+	if o.inject.ShouldFire(inject.WAGradNaN, evalIdx) {
+		// Poison one movable cell's WA gradient entry (a fixed cell's entry
+		// would never reach the combined gradient).
+		ci := o.movable[o.inject.Index(inject.WAGradNaN, len(o.movable))]
+		o.gWL[2*ci] = math.NaN()
+	}
 	o.lastWL = wlVal
 	o.lastWLGradL1 = wirelength.GradL1(o.d, o.gWL)
 

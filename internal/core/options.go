@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/guard"
+	"repro/internal/guard/inject"
 	"repro/internal/telemetry"
 )
 
@@ -135,6 +137,20 @@ type Options struct {
 	// the float summation tree never depends on the worker count.
 	Workers int
 
+	// Guard configures the numeric guardrails (invariant sentinels and
+	// divergence recovery; see internal/guard and DESIGN.md §9). The zero
+	// value — policy Off — disables guarding entirely: no sentinel scans, no
+	// extra telemetry metrics, byte-identical traces to builds without the
+	// guard layer. Guard settings are serialized into checkpoints and follow
+	// the same merge rules as the algorithm options.
+	Guard guard.Config
+
+	// FaultInjector, when non-nil, arms deterministic fault injection at the
+	// named points of internal/guard/inject (tests and chaos runs only; nil
+	// in production). It is environment, not algorithm state: never
+	// serialized into checkpoints, always taken from the caller.
+	FaultInjector *inject.Registry
+
 	// SkipLegalize and SkipDetailed shorten test runs.
 	SkipLegalize bool
 	SkipDetailed bool
@@ -188,6 +204,9 @@ func (o *Options) setDefaults(numCells int) {
 		o.CongestionPatience = 4
 	} else if o.CongestionPatience < 0 {
 		o.CongestionPatience = 0
+	}
+	if o.Guard.Enabled() {
+		o.Guard.SetDefaults()
 	}
 }
 

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func BenchmarkReadSeedCheckpoint(b *testing.B) {
+	raw, err := os.ReadFile("testdata/seed.ckpt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := readCheckpoint(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

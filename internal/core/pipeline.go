@@ -154,6 +154,12 @@ type PlacementState struct {
 	stall       int
 	bestX       []float64 // placement with the lowest weighted congestion
 
+	// Guard layer (see guard.go): nil unless Options.Guard is enabled.
+	grd *guardRuntime
+	// ckptWrites counts checkpoint files written; it indexes the
+	// checkpoint-corruption faults in writeCheckpointNow.
+	ckptWrites int
+
 	start time.Time
 }
 
@@ -193,6 +199,12 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 func PlaceContext(ctx context.Context, d *netlist.Design, opt Options) (*Result, error) {
 	opt.setDefaults(len(d.Cells))
 	if err := validateCheckpointOpts(&opt); err != nil {
+		return nil, err
+	}
+	if err := opt.Guard.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validatePlaceable(d); err != nil {
 		return nil, err
 	}
 	ps := &PlacementState{
@@ -293,7 +305,7 @@ func (ps *PlacementState) maybeCheckpoint(point string) error {
 	if ps.Opt.CheckpointAfter == "" || ps.Opt.CheckpointAfter != point {
 		return nil
 	}
-	if err := writeCheckpointFile(ps.Opt.CheckpointPath, ps.capture()); err != nil {
+	if err := ps.writeCheckpointNow(); err != nil {
 		return err
 	}
 	return ErrCheckpointed
@@ -313,7 +325,7 @@ func (ps *PlacementState) fail(err error) (*Result, error) {
 		ps.root = nil
 		ps.Res.PlaceTime = time.Since(ps.start)
 		if ps.Opt.CheckpointPath != "" {
-			if werr := writeCheckpointFile(ps.Opt.CheckpointPath, ps.capture()); werr != nil {
+			if werr := ps.writeCheckpointNow(); werr != nil {
 				return ps.Res, fmt.Errorf("%w (and writing the checkpoint failed: %v)", err, werr)
 			}
 		}
@@ -412,6 +424,11 @@ func (ps *PlacementState) buildRuntime() error {
 	ps.optm.StepMax = dens.BinW() * 4
 	ps.congAt = make([]float64, len(d.Cells))
 
+	if err := ps.initGuard(); err != nil {
+		return err
+	}
+	ps.wireInjector()
+
 	if obs := ps.obs; obs != nil {
 		obs.Gauge("design.cells").Set(float64(len(d.Cells)))
 		obs.Gauge("design.nets").Set(float64(len(d.Nets)))
@@ -464,13 +481,20 @@ func (wirelengthStage) Run(ctx context.Context, ps *PlacementState) error {
 			ps.dens.NX, ps.dens.NY, ps.dens.NumFillers())
 	}
 	for it := ps.cur.iter; it < opt.MaxWLIters; it++ {
-		if err := ctx.Err(); err != nil {
+		if err := ps.checkCancel(ctx); err != nil {
 			ps.cur = cursor{stage: "wirelength", iter: it, step: -1}
 			p1.End()
 			return err
 		}
 		ps.obj.useCong = false
 		_, step := ps.optm.Step(ps.obj)
+		if retry, err := ps.guardAfterStep("wirelength"); err != nil {
+			p1.End()
+			return err
+		} else if retry {
+			it-- // redo this iteration from the rolled-back state
+			continue
+		}
 		ps.obj.lambda1 *= lambda1Growth
 		ps.wl.UpdateGamma(ps.gamma0, clamp01(ps.obj.lastOverflow))
 		res.WLIters++
@@ -548,7 +572,13 @@ func (ps *PlacementState) loopPrologue() error {
 		// framework is built on Xplace-Route's flow — the DPA technique
 		// REPLACES the static adjustment with the congestion-gated dynamic
 		// one (Sec. III-C contrasts exactly these two policies).
-		ps.dens.SetPGDensity(pgrail.StaticDensity(d, ps.bins))
+		pg, err := pgrail.StaticDensity(d, ps.bins)
+		if err == nil {
+			err = ps.dens.SetPGDensity(pg)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	ps.loopReady = true
 	return nil
@@ -623,7 +653,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 		if fromStep < 0 {
 			// Fresh iteration: route from the current positions, observe,
 			// and adapt the models.
-			if err := ctx.Err(); err != nil {
+			if err := ps.checkCancel(ctx); err != nil {
 				ps.cur = cursor{stage: "routability", iter: it, step: -1}
 				return err
 			}
@@ -692,15 +722,28 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 			// Momentum (or baseline) cell inflation.
 			sp = obs.StartSpan("inflate")
 			cellCongestion(d, rres.CongestionAt, ps.congAt)
-			ps.inf.Update(ps.congAt, rres.AvgCongestion())
-			ps.dens.SetInflations(ps.inf.Ratios())
+			aerr := ps.inf.Update(ps.congAt, rres.AvgCongestion())
+			if aerr == nil {
+				aerr = ps.dens.SetInflations(ps.inf.Ratios())
+			}
 			sp.End()
+			if aerr != nil {
+				itSp.End()
+				return aerr
+			}
 
 			// Dynamic PG density (Eq. 13–15).
 			if ps.dynamicPG {
 				sp = obs.StartSpan("pg_density")
-				ps.dens.SetPGDensity(pgrail.Density(ps.selected, ps.bins, rres.Congestion, rres.AvgCongestion()))
+				pg, perr := pgrail.Density(ps.selected, ps.bins, rres.Congestion, rres.AvgCongestion())
+				if perr == nil {
+					perr = ps.dens.SetPGDensity(pg)
+				}
 				sp.End()
+				if perr != nil {
+					itSp.End()
+					return perr
+				}
 			}
 
 			// Differentiable congestion term.
@@ -736,13 +779,21 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 			nesterovResets.Inc()
 		}
 		for s := fromStep; s < opt.StepsPerRouteIter; s++ {
-			if err := ctx.Err(); err != nil {
+			if err := ps.checkCancel(ctx); err != nil {
 				sp.End()
 				itSp.End()
 				ps.cur = cursor{stage: "routability", iter: it, step: s}
 				return err
 			}
 			ps.optm.Step(ps.obj)
+			if retry, err := ps.guardAfterStep("routability"); err != nil {
+				sp.End()
+				itSp.End()
+				return err
+			} else if retry {
+				s-- // redo this step from the rolled-back state
+				continue
+			}
 			if ps.obj.lastOverflow > opt.WLOverflowStop {
 				ps.obj.lambda1 *= lambda1RouteGrowth
 			}

@@ -11,26 +11,38 @@ package core
 // model is reconstructed deterministically from the serialized state,
 // is what makes resumed runs byte-identical to uninterrupted ones.
 //
-//	nmckpt 1
+//	nmckpt 2
 //	cursor <stage> <iter> <step>
 //	mode <int>
 //	tech <mci> <dc> <dpa> <alpha> <scheme|-> <thresh> <fixedl2> <vmid>
 //	opts <grid> <maxwl> <wlstop> <maxroute> <steps> <patience> <skipleg> <skipdet>
+//	guard <policy> <maxretries> <backoff> <checkevery> <retries>   (only when guarded)
 //	design <cells> <nets> <pins> <rails> <lox> <loy> <hix> <hiy>
 //	result <wliters> <routeiters> <finaloverflow> <hpwlglobal> <hpwllegal> <legdisp>
 //	vec conghist / cellpos / nes.* / fillers / infl.* / bestx / pgrho / cong.* / rtr.pincell
 //	gp <gamma> <lambda1> <lambda2> <lastwl> <lastoverflow> <lastwlgradl1>
-//	nesterov <a> <first> <steps>
+//	nesterov <a> <first> <steps> <scale>
 //	loop <bestc> <stall>
 //	infl <scheme> <avgprev> <t>
 //	cong <present>
 //	tel <seq> <nextspanid>  + telspan / telagg / telctr / telgauge / telhist
 //	end
+//	crc <8-hex-digits>
+//
+// The crc footer is an IEEE CRC-32 over every byte before it (the whole
+// file up to and including the "end" line's newline). Any truncation or
+// byte flip fails the checksum before parsing begins; all such failures —
+// and any parse failure on checksummed content — wrap ErrCheckpointCorrupt
+// so callers can distinguish a damaged file from a design/option mismatch
+// and fall back to the rotated ".prev" checkpoint (see ResumeFromFile).
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
@@ -39,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/guard"
 	"repro/internal/inflation"
 	"repro/internal/nesterov"
 	"repro/internal/netlist"
@@ -47,7 +60,19 @@ import (
 	"repro/internal/telemetry"
 )
 
-const checkpointVersion = 1
+// Version history: 1 = initial format; 2 = CRC-32 footer, the nesterov
+// record's step-scale field, and the optional guard record.
+const checkpointVersion = 2
+
+// ErrCheckpointCorrupt marks a checkpoint file that failed validation —
+// checksum mismatch, truncation, or unparsable checksummed content. It is
+// distinct from semantic mismatches (wrong design, conflicting options),
+// which are NOT corruption and never trigger the ".prev" fallback.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("core: %w: "+format, append([]any{ErrCheckpointCorrupt}, args...)...)
+}
 
 // checkpoint is the serializable subset of PlacementState. Everything not
 // here (density bins, Poisson plans, the router, span objects, …) is
@@ -68,6 +93,13 @@ type checkpoint struct {
 	CongestionPatience int
 	SkipLegalize       bool
 	SkipDetailed       bool
+
+	// Guard configuration (post-SetDefaults) and the recoveries already
+	// used, so a resumed run keeps honouring the same retry budget. The
+	// zero-value config (policy Off) is not serialized at all, keeping
+	// unguarded checkpoints byte-identical to the pre-guard format.
+	GuardCfg     guard.Config
+	GuardRetries int
 
 	// Design fingerprint (the netlist itself is not embedded; resume takes
 	// the same design file and validates it against this).
@@ -124,6 +156,8 @@ func (ps *PlacementState) capture() *checkpoint {
 		SkipLegalize:       opt.SkipLegalize,
 		SkipDetailed:       opt.SkipDetailed,
 
+		GuardCfg: opt.Guard,
+
 		NumCells: len(d.Cells),
 		NumNets:  len(d.Nets),
 		NumPins:  len(d.Pins),
@@ -137,6 +171,9 @@ func (ps *PlacementState) capture() *checkpoint {
 		HPWLLegalized:     ps.Res.HPWLLegalized,
 		LegalizeDisp:      ps.Res.LegalizeDisp,
 		CongestionHistory: append([]float64(nil), ps.Res.CongestionHistory...),
+	}
+	if ps.grd != nil {
+		ck.GuardRetries = ps.grd.retries
 	}
 	ck.CellPos = make([]float64, 0, 2*len(d.Cells))
 	for i := range d.Cells {
@@ -185,7 +222,10 @@ func (ps *PlacementState) capture() *checkpoint {
 
 // writeCheckpointFile writes the checkpoint atomically: a rename either
 // publishes the complete file or leaves the previous one intact, so a
-// crash mid-write can never produce a torn checkpoint.
+// crash mid-write can never produce a torn checkpoint. An existing
+// checkpoint at path is rotated to path+".prev" first, keeping the last
+// successfully-written state available as a fallback should the new file
+// later fail validation (bit rot, a partial copy, …).
 func writeCheckpointFile(path string, ck *checkpoint) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -201,6 +241,12 @@ func writeCheckpointFile(path string, ck *checkpoint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+".prev"); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
@@ -208,9 +254,18 @@ func writeCheckpointFile(path string, ck *checkpoint) error {
 	return nil
 }
 
-// writeCheckpoint serializes ck in the canonical text form.
+// writeCheckpoint serializes ck in the canonical text form: the body,
+// then the CRC-32 footer over the body's bytes.
 func writeCheckpoint(w io.Writer, ck *checkpoint) error {
-	bw := bufio.NewWriter(w)
+	var buf bytes.Buffer
+	writeCheckpointBody(&buf, ck)
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	fmt.Fprintf(&buf, "crc %08x\n", sum)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func writeCheckpointBody(bw *bytes.Buffer, ck *checkpoint) {
 	fmt.Fprintf(bw, "# nmplace checkpoint\n")
 	fmt.Fprintf(bw, "nmckpt %d\n", checkpointVersion)
 	fmt.Fprintf(bw, "cursor %s %d %d\n", ck.Cur.stage, ck.Cur.iter, ck.Cur.step)
@@ -227,6 +282,11 @@ func writeCheckpoint(w io.Writer, ck *checkpoint) error {
 		ck.GridHint, ck.MaxWLIters, ck.WLOverflowStop, ck.MaxRouteIters,
 		ck.StepsPerRouteIter, ck.CongestionPatience,
 		b01(ck.SkipLegalize), b01(ck.SkipDetailed))
+	if ck.GuardCfg.Enabled() {
+		fmt.Fprintf(bw, "guard %s %d %g %d %d\n",
+			ck.GuardCfg.Policy, ck.GuardCfg.MaxRetries, ck.GuardCfg.Backoff,
+			ck.GuardCfg.CheckEvery, ck.GuardRetries)
+	}
 	fmt.Fprintf(bw, "design %d %d %d %d %g %g %g %g\n",
 		ck.NumCells, ck.NumNets, ck.NumPins, ck.NumRails,
 		ck.Die.Lo.X, ck.Die.Lo.Y, ck.Die.Hi.X, ck.Die.Hi.Y)
@@ -239,7 +299,7 @@ func writeCheckpoint(w io.Writer, ck *checkpoint) error {
 	if ck.HasGP {
 		fmt.Fprintf(bw, "gp %g %g %g %g %g %g\n",
 			ck.Gamma, ck.Lambda1, ck.Lambda2, ck.LastWL, ck.LastOv, ck.LastWLGradL1)
-		fmt.Fprintf(bw, "nesterov %g %s %d\n", ck.Nes.A, b01(ck.Nes.First), ck.Nes.Steps)
+		fmt.Fprintf(bw, "nesterov %g %s %d %g\n", ck.Nes.A, b01(ck.Nes.First), ck.Nes.Steps, ck.Nes.Scale)
 		writeVec(bw, "nes.u", ck.Nes.U)
 		writeVec(bw, "nes.v", ck.Nes.V)
 		writeVec(bw, "nes.vprev", ck.Nes.VPrev)
@@ -290,7 +350,6 @@ func writeCheckpoint(w io.Writer, ck *checkpoint) error {
 		}
 	}
 	fmt.Fprintf(bw, "end\n")
-	return bw.Flush()
 }
 
 func b01(v bool) string {
@@ -300,7 +359,7 @@ func b01(v bool) string {
 	return "0"
 }
 
-func writeVec(bw *bufio.Writer, name string, v []float64) {
+func writeVec(bw *bytes.Buffer, name string, v []float64) {
 	fmt.Fprintf(bw, "vec %s %d", name, len(v))
 	for _, x := range v {
 		fmt.Fprintf(bw, " %g", x)
@@ -392,9 +451,52 @@ func (p *fieldParser) done() error {
 	return nil
 }
 
-// readCheckpoint parses the canonical text form back into a checkpoint.
+// readCheckpoint validates and parses the canonical text form back into a
+// checkpoint. The CRC-32 footer is verified first, so damaged content is
+// rejected (as ErrCheckpointCorrupt) before any of it is parsed.
 func readCheckpoint(r io.Reader) (*checkpoint, error) {
-	sc := bufio.NewScanner(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	body, err := verifyChecksum(data)
+	if err != nil {
+		return nil, err
+	}
+	return parseCheckpoint(body)
+}
+
+// verifyChecksum checks the trailing "crc <8-hex>" footer line against the
+// bytes before it and returns those bytes (the checkpoint body).
+func verifyChecksum(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, corruptf("empty checkpoint file")
+	}
+	if data[len(data)-1] != '\n' {
+		return nil, corruptf("truncated checkpoint (no trailing newline)")
+	}
+	i := bytes.LastIndexByte(data[:len(data)-1], '\n')
+	last := string(data[i+1 : len(data)-1])
+	hexDigits, ok := strings.CutPrefix(last, "crc ")
+	if !ok {
+		return nil, corruptf("truncated checkpoint (missing crc footer)")
+	}
+	want, err := strconv.ParseUint(hexDigits, 16, 32)
+	if err != nil {
+		return nil, corruptf("unparsable crc footer %q", last)
+	}
+	body := data[:i+1]
+	if got := crc32.ChecksumIEEE(body); got != uint32(want) {
+		return nil, corruptf("crc mismatch: footer says %08x, content hashes to %08x", uint32(want), got)
+	}
+	return body, nil
+}
+
+// parseCheckpoint parses the checksummed checkpoint body. Any failure here
+// means the content is malformed despite a valid checksum — still reported
+// as corruption, since no well-formed writer produces such a file.
+func parseCheckpoint(body []byte) (*checkpoint, error) {
+	sc := bufio.NewScanner(bytes.NewReader(body))
 	// Vectors are single lines of 2N floats; allow very long lines.
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 	ck := &checkpoint{}
@@ -407,7 +509,7 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			continue
 		}
 		if sawEnd {
-			return nil, fmt.Errorf("core: checkpoint line %d: content after end", lineNo)
+			return nil, corruptf("checkpoint line %d: content after end", lineNo)
 		}
 		f := strings.Fields(line)
 		p := &fieldParser{f: f[1:], what: f[0]}
@@ -443,6 +545,16 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			ck.CongestionPatience = p.nextInt()
 			ck.SkipLegalize = p.nextBool()
 			ck.SkipDetailed = p.nextBool()
+		case "guard":
+			pol, perr := guard.ParsePolicy(p.token())
+			if perr != nil && p.err == nil {
+				p.err = perr
+			}
+			ck.GuardCfg.Policy = pol
+			ck.GuardCfg.MaxRetries = p.nextInt()
+			ck.GuardCfg.Backoff = p.nextFloat()
+			ck.GuardCfg.CheckEvery = p.nextInt()
+			ck.GuardRetries = p.nextInt()
 		case "design":
 			ck.NumCells = p.nextInt()
 			ck.NumNets = p.nextInt()
@@ -462,7 +574,14 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			name := p.token()
 			n := p.nextInt()
 			if p.err != nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: %v", lineNo, p.err)
+				return nil, corruptf("checkpoint line %d: %v", lineNo, p.err)
+			}
+			// The declared count sizes the allocation; cap it by the tokens
+			// actually on the line so a corrupted count can neither allocate
+			// gigabytes nor spin through a billion empty parses.
+			if rest := len(p.f) - p.i; n < 0 || n > rest {
+				return nil, corruptf("checkpoint line %d: vec %s declares %d values, line carries %d",
+					lineNo, name, n, rest)
 			}
 			var v []float64
 			if n > 0 {
@@ -472,7 +591,7 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 				}
 			}
 			if err := ck.assignVec(name, v); err != nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: %v", lineNo, err)
+				return nil, corruptf("checkpoint line %d: %v", lineNo, err)
 			}
 		case "gp":
 			ck.HasGP = true
@@ -486,6 +605,7 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			ck.Nes.A = p.nextFloat()
 			ck.Nes.First = p.nextBool()
 			ck.Nes.Steps = p.nextInt()
+			ck.Nes.Scale = p.nextFloat()
 		case "loop":
 			ck.HasLoop = true
 			ck.BestC = p.nextFloat()
@@ -502,14 +622,14 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			ck.Tel.NextSpanID = p.nextInt()
 		case "telspan":
 			if ck.Tel == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: telspan before tel", lineNo)
+				return nil, corruptf("checkpoint line %d: telspan before tel", lineNo)
 			}
 			id := p.nextInt()
 			name := p.token()
 			ck.Tel.OpenSpans = append(ck.Tel.OpenSpans, telemetry.SpanState{ID: id, Name: name})
 		case "telagg":
 			if ck.Tel == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: telagg before tel", lineNo)
+				return nil, corruptf("checkpoint line %d: telagg before tel", lineNo)
 			}
 			st := telemetry.StageTiming{Name: p.token()}
 			st.Depth = p.nextInt()
@@ -518,14 +638,14 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			ck.Tel.Stages = append(ck.Tel.Stages, st)
 		case "telctr":
 			if ck.Tel == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: telctr before tel", lineNo)
+				return nil, corruptf("checkpoint line %d: telctr before tel", lineNo)
 			}
 			m := telemetry.MetricState{Kind: "counter", Name: p.token()}
 			m.Counter = p.nextI64()
 			ck.Tel.Metrics = append(ck.Tel.Metrics, m)
 		case "telgauge":
 			if ck.Tel == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: telgauge before tel", lineNo)
+				return nil, corruptf("checkpoint line %d: telgauge before tel", lineNo)
 			}
 			m := telemetry.MetricState{Kind: "gauge", Name: p.token()}
 			m.Volatile = p.nextBool()
@@ -534,7 +654,7 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 			ck.Tel.Metrics = append(ck.Tel.Metrics, m)
 		case "telhist":
 			if ck.Tel == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: telhist before tel", lineNo)
+				return nil, corruptf("checkpoint line %d: telhist before tel", lineNo)
 			}
 			m := telemetry.MetricState{Kind: "histogram", Name: p.token()}
 			m.Count = p.nextI64()
@@ -549,23 +669,23 @@ func readCheckpoint(r io.Reader) (*checkpoint, error) {
 		case "end":
 			sawEnd = true
 		default:
-			return nil, fmt.Errorf("core: checkpoint line %d: unknown record %q", lineNo, f[0])
+			return nil, corruptf("checkpoint line %d: unknown record %q", lineNo, f[0])
 		}
 		if err := p.done(); err != nil {
-			return nil, fmt.Errorf("core: checkpoint line %d: %v", lineNo, err)
+			return nil, corruptf("checkpoint line %d: %v", lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("core: checkpoint: %w", err)
 	}
 	if !sawVersion {
-		return nil, fmt.Errorf("core: not a checkpoint file (missing nmckpt header)")
+		return nil, corruptf("not a checkpoint file (missing nmckpt header)")
 	}
 	if !sawEnd {
-		return nil, fmt.Errorf("core: truncated checkpoint (missing end record)")
+		return nil, corruptf("truncated checkpoint (missing end record)")
 	}
 	if stageIndex(ck.Cur.stage) >= len(stageOrder) {
-		return nil, fmt.Errorf("core: checkpoint has unknown cursor stage %q", ck.Cur.stage)
+		return nil, corruptf("checkpoint has unknown cursor stage %q", ck.Cur.stage)
 	}
 	return ck, nil
 }
@@ -624,11 +744,60 @@ func ResumeContext(ctx context.Context, d *netlist.Design, ckr io.Reader, opt Op
 	if err != nil {
 		return nil, err
 	}
+	return resumeCheckpoint(ctx, d, ck, opt)
+}
+
+// ResumeFromFile is ResumeContext reading the checkpoint from a file, with
+// last-good fallback: when path fails validation (CRC mismatch, truncation
+// — anything wrapping ErrCheckpointCorrupt), the rotated path+".prev"
+// checkpoint written by the previous successful checkpoint write is tried
+// before giving up. Falling back resumes from one checkpoint earlier, which
+// by determinism still reproduces the uninterrupted run's final placement.
+// Semantic errors (wrong design, conflicting options) never fall back.
+func ResumeFromFile(ctx context.Context, d *netlist.Design, path string, opt Options) (*Result, error) {
+	ck, rerr := readCheckpointFile(path)
+	if rerr != nil {
+		if !errors.Is(rerr, ErrCheckpointCorrupt) {
+			return nil, rerr
+		}
+		prev := path + ".prev"
+		ckPrev, perr := readCheckpointFile(prev)
+		if perr != nil {
+			return nil, fmt.Errorf("%w (fallback %s: %v)", rerr, prev, perr)
+		}
+		// Plain-log only: the Observer's restored sequence must start
+		// exactly where the interrupted trace stopped.
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "resume: checkpoint %s is corrupt (%v); falling back to last-good %s\n",
+				path, rerr, prev)
+		}
+		ck = ckPrev
+	}
+	return resumeCheckpoint(ctx, d, ck, opt)
+}
+
+func readCheckpointFile(path string) (*checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readCheckpoint(f)
+}
+
+// resumeCheckpoint is the shared back half of ResumeContext/ResumeFromFile.
+func resumeCheckpoint(ctx context.Context, d *netlist.Design, ck *checkpoint, opt Options) (*Result, error) {
 	merged, err := ck.mergeOptions(opt)
 	if err != nil {
 		return nil, err
 	}
 	if err := validateCheckpointOpts(&merged); err != nil {
+		return nil, err
+	}
+	if err := merged.Guard.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validatePlaceable(d); err != nil {
 		return nil, err
 	}
 	ps, err := ck.restore(d, merged)
@@ -655,12 +824,14 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 		CongestionPatience: ck.CongestionPatience,
 		SkipLegalize:       ck.SkipLegalize,
 		SkipDetailed:       ck.SkipDetailed,
+		Guard:              ck.GuardCfg,
 
 		Workers:         opt.Workers,
 		Log:             opt.Log,
 		Observer:        opt.Observer,
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointAfter: opt.CheckpointAfter,
+		FaultInjector:   opt.FaultInjector,
 	}
 	// The checkpoint stores post-setDefaults values, so WLOverflowStop==0
 	// really means threshold zero; re-running setDefaults would turn it
@@ -696,6 +867,17 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 		mismatch = "SkipLegalize"
 	case opt.SkipDetailed && !ck.SkipDetailed:
 		mismatch = "SkipDetailed"
+	}
+	// The checkpoint stores the post-SetDefaults guard config, so apply the
+	// same defaulting to the caller's before comparing.
+	if mismatch == "" && opt.Guard != (guard.Config{}) {
+		gcall := opt.Guard
+		if gcall.Enabled() {
+			gcall.SetDefaults()
+		}
+		if gcall != ck.GuardCfg {
+			mismatch = "Guard"
+		}
 	}
 	if mismatch != "" {
 		return Options{}, fmt.Errorf("core: resume: Options.%s differs from the checkpointed run", mismatch)
@@ -764,6 +946,12 @@ func (ck *checkpoint) restore(d *netlist.Design, opt Options) (*PlacementState, 
 		if err := ps.optm.SetState(ck.Nes); err != nil {
 			return nil, fmt.Errorf("core: resume: %w", err)
 		}
+		// One Eval per Step, so the restored eval count — which indexes the
+		// WA-gradient fault injection — is the serialized step count.
+		ps.obj.evals = ck.Nes.Steps
+		if ps.grd != nil {
+			ps.grd.retries = ck.GuardRetries
+		}
 		if len(ck.Fillers) != len(ps.dens.FillerPos) {
 			return nil, fmt.Errorf("core: resume: checkpoint has %d filler coordinates, design yields %d",
 				len(ck.Fillers), len(ps.dens.FillerPos))
@@ -800,12 +988,16 @@ func (ps *PlacementState) restoreLoop(ck *checkpoint) error {
 	if ps.dynamicPG {
 		ps.selected = pgrail.SelectRails(d)
 	}
-	ps.dens.SetInflations(inf.Ratios())
+	if err := ps.dens.SetInflations(inf.Ratios()); err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
 	if len(ck.PGRho) != ps.dens.NX*ps.dens.NY {
 		return fmt.Errorf("core: resume: pgrho has %d bins, grid is %dx%d",
 			len(ck.PGRho), ps.dens.NX, ps.dens.NY)
 	}
-	ps.dens.SetPGDensity(ck.PGRho)
+	if err := ps.dens.SetPGDensity(ck.PGRho); err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
 	ps.bestC = ck.BestC
 	ps.stall = ck.Stall
 	if len(ck.BestX) > 0 {

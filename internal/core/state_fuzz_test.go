@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// seedCheckpoint runs a minimal placement to the cheapest scheduled stop and
+// returns the raw bytes of a genuine checkpoint file.
+func seedCheckpoint(tb testing.TB, dir string) []byte {
+	tb.Helper()
+	ckPath := filepath.Join(dir, "seed.ckpt")
+	d := synth.MustGenerate("tiny_open")
+	opt := fastOpts(ModeOurs)
+	opt.Workers = 1
+	opt.CheckpointPath = ckPath
+	opt.CheckpointAfter = "setup"
+	if _, err := Place(d, opt); !errors.Is(err, ErrCheckpointed) {
+		tb.Fatalf("seed checkpoint run returned %v", err)
+	}
+	raw, err := os.ReadFile(ckPath)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// TestCheckpointMalformedInputs pins the typed-error contract of the reader:
+// integrity failures (truncation, bit rot, garbage) are ErrCheckpointCorrupt
+// — the class the .prev fallback retries — while semantic mismatches (wrong
+// design) are plain errors, because retrying another file cannot fix them.
+func TestCheckpointMalformedInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement run for the seed checkpoint; skipped in -short")
+	}
+	raw := seedCheckpoint(t, t.TempDir())
+
+	corrupt := map[string][]byte{
+		"empty":             {},
+		"no trailing nl":    []byte("nmckpt 2"),
+		"header only":       []byte("nmckpt 2\n"),
+		"truncated half":    raw[:len(raw)/2],
+		"truncated minus 1": raw[:len(raw)-1],
+		"garbage":           []byte("not a checkpoint\nat all\n"),
+		"crc line garbage":  append(append([]byte{}, raw[:len(raw)-13]...), []byte("crc zzzzzzzz\n")...),
+	}
+	// One flipped byte in the middle of the body must trip the CRC.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x01
+	corrupt["flipped byte"] = flipped
+
+	for name, data := range corrupt {
+		if _, err := readCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%s: got %v, want ErrCheckpointCorrupt", name, err)
+		}
+	}
+
+	// Wrong design: fingerprint mismatch is NOT corruption.
+	other := synth.MustGenerate("tiny_hot")
+	_, err := ResumeContext(context.Background(), other, bytes.NewReader(raw), Options{Workers: 1})
+	if err == nil {
+		t.Error("resume on wrong design accepted")
+	} else if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("design mismatch misclassified as corruption: %v", err)
+	}
+
+	// Unsupported version: CRC-valid but too new — also not corruption (a
+	// .prev fallback must not mask a version skew). Rebuild the CRC so only
+	// the version line is wrong.
+	body := bytes.Replace(raw, []byte("nmckpt 2\n"), []byte("nmckpt 99\n"), 1)
+	body = body[:bytes.LastIndex(body, []byte("crc "))]
+	var vbuf bytes.Buffer
+	vbuf.Write(body)
+	fmt.Fprintf(&vbuf, "crc %08x\n", crc32.ChecksumIEEE(body))
+	if _, err := readCheckpoint(bytes.NewReader(vbuf.Bytes())); err == nil {
+		t.Error("version 99 checkpoint accepted")
+	} else if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("unsupported version misclassified as corruption: %v", err)
+	}
+}
+
+// FuzzReadCheckpoint: the parser must never panic on arbitrary bytes, and
+// anything it accepts must survive a write→reparse round trip.
+func FuzzReadCheckpoint(f *testing.F) {
+	// Prefer the checked-in seed: every fuzz worker process replays this
+	// setup, and generating a checkpoint means running a placement.
+	if raw, err := os.ReadFile(filepath.Join("testdata", "seed.ckpt")); err == nil {
+		f.Add(raw)
+	} else {
+		f.Add(seedCheckpoint(f, f.TempDir()))
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("nmckpt 2\n"))
+	f.Add([]byte("nmckpt 2\nend\ncrc 00000000\n"))
+	f.Add([]byte("not a checkpoint\n"))
+	f.Add([]byte("nmckpt 2\nvec u 3 0 1 2\nend\ncrc ffffffff\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := readCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return // rejection (typed or not) is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := writeCheckpoint(&buf, ck); err != nil {
+			t.Fatalf("accepted checkpoint does not re-serialize: %v", err)
+		}
+		if _, err := readCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-serialized checkpoint does not reparse: %v", err)
+		}
+	})
+}

@@ -14,6 +14,7 @@
 package density
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/geom"
@@ -36,6 +37,12 @@ type Model struct {
 	// runtime.NumCPU(), 1 runs fully serial. Results are byte-identical
 	// for any setting.
 	Workers int
+
+	// RhoHook, when non-nil, is invoked with the normalized charge-density
+	// grid after rasterization and immediately before the Poisson solve. It
+	// is a fault-injection / diagnostics seam (the guard chaos suite poisons
+	// one bin through it); production runs leave it nil.
+	RhoHook func(rho []float64)
 
 	d      *netlist.Design
 	NX, NY int
@@ -214,15 +221,17 @@ func (m *Model) NumFillers() int { return len(m.FillerPos) / 2 }
 // SetInflation sets the inflation ratio of one cell (movables only matter).
 func (m *Model) SetInflation(cell int, r float64) { m.inflation[cell] = r }
 
-// SetInflations replaces all inflation ratios; len must equal len(Cells).
+// SetInflations replaces all inflation ratios; len must equal len(Cells)
+// or an error is returned (an API-boundary condition the caller can cause).
 // The filler population is shrunk by the total inflation delta so the total
 // movable charge stays at the density target.
-func (m *Model) SetInflations(r []float64) {
+func (m *Model) SetInflations(r []float64) error {
 	if len(r) != len(m.inflation) {
-		panic("density: inflation length mismatch")
+		return fmt.Errorf("density: %d inflation ratios for %d cells", len(r), len(m.inflation))
 	}
 	copy(m.inflation, r)
 	m.rebalanceFillers()
+	return nil
 }
 
 // rebalanceFillers deactivates enough fillers to pay for the current
@@ -264,18 +273,19 @@ func (m *Model) PGDensity() []float64 {
 
 // SetPGDensity replaces the PG-rail additive bin density (Eq. 14). The slice
 // must have NX·NY entries expressed as area per bin (same unit as cell
-// overlap areas); pass nil to clear.
-func (m *Model) SetPGDensity(pg []float64) {
+// overlap areas) or an error is returned; pass nil to clear.
+func (m *Model) SetPGDensity(pg []float64) error {
 	if pg == nil {
 		for i := range m.pgRho {
 			m.pgRho[i] = 0
 		}
-		return
+		return nil
 	}
 	if len(pg) != len(m.pgRho) {
-		panic("density: PG density length mismatch")
+		return fmt.Errorf("density: PG density has %d bins, grid is %dx%d", len(pg), m.NX, m.NY)
 	}
 	copy(m.pgRho, pg)
+	return nil
 }
 
 func (m *Model) binAt(x, y float64) (int, int) {
@@ -378,8 +388,30 @@ func (m *Model) Compute() {
 	for i := range m.rho {
 		m.rho[i] /= binArea
 	}
+	if m.RhoHook != nil {
+		m.RhoHook(m.rho)
+	}
 	m.solver.Workers = m.Workers
 	m.solver.Solve(m.rho, m.grid)
+}
+
+// ScanNonFinite scans the charge density and the solved Poisson field for
+// NaN/±Inf values, returning the name of the first offending array, the bin
+// index and the value; ok is true when everything is finite. This is the
+// guard layer's density/Poisson-field sentinel — O(4·NX·NY), trivially
+// cheap next to the solve itself.
+func (m *Model) ScanNonFinite() (field string, index int, value float64, ok bool) {
+	for _, s := range []struct {
+		name string
+		v    []float64
+	}{{"rho", m.rho}, {"psi", m.grid.Psi}, {"ex", m.grid.Ex}, {"ey", m.grid.Ey}} {
+		for i, x := range s.v {
+			if x-x != 0 { // NaN or ±Inf
+				return s.name, i, x, false
+			}
+		}
+	}
+	return "", -1, 0, true
 }
 
 // sample bilinearly interpolates a grid field at (x, y), with bin-center

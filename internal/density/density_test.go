@@ -146,12 +146,15 @@ func TestInflationIncreasesLocalDensity(t *testing.T) {
 func TestSetInflationsLengthChecked(t *testing.T) {
 	d := clusterDesign(t, 4)
 	m := New(d, 16)
-	defer func() {
-		if recover() == nil {
-			t.Errorf("SetInflations with bad length did not panic")
-		}
-	}()
-	m.SetInflations([]float64{1})
+	if err := m.SetInflations([]float64{1}); err == nil {
+		t.Errorf("SetInflations with bad length did not error")
+	}
+	if err := m.SetPGDensity([]float64{1, 2}); err == nil {
+		t.Errorf("SetPGDensity with bad length did not error")
+	}
+	if err := m.SetPGDensity(nil); err != nil {
+		t.Errorf("SetPGDensity(nil) must clear without error, got %v", err)
+	}
 }
 
 func TestPGDensityRaisesPenalty(t *testing.T) {

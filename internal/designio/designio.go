@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -92,8 +93,8 @@ func Read(r io.Reader) (*netlist.Design, error) {
 				err = fmt.Errorf("row wants 2 fields")
 				break
 			}
-			if d.RowHeight, err = strconv.ParseFloat(f[1], 64); err == nil {
-				d.SiteWidth, err = strconv.ParseFloat(f[2], 64)
+			if d.RowHeight, err = parseFinite(f[1]); err == nil {
+				d.SiteWidth, err = parseFinite(f[2])
 			}
 		case "route":
 			if len(f) != 3 {
@@ -101,14 +102,14 @@ func Read(r io.Reader) (*netlist.Design, error) {
 				break
 			}
 			if d.RouteLayers, err = strconv.Atoi(f[1]); err == nil {
-				d.RouteCapScale, err = strconv.ParseFloat(f[2], 64)
+				d.RouteCapScale, err = parseFinite(f[2])
 			}
 		case "density":
 			if len(f) != 2 {
 				err = fmt.Errorf("density wants 1 field")
 				break
 			}
-			d.TargetDensity, err = strconv.ParseFloat(f[1], 64)
+			d.TargetDensity, err = parseFinite(f[1])
 		case "cell":
 			if len(f) != 7 {
 				err = fmt.Errorf("cell wants 6 fields")
@@ -131,7 +132,7 @@ func Read(r io.Reader) (*netlist.Design, error) {
 				break
 			}
 			var wgt float64
-			if wgt, err = strconv.ParseFloat(f[2], 64); err != nil {
+			if wgt, err = parseFinite(f[2]); err != nil {
 				break
 			}
 			d.Nets = append(d.Nets, netlist.Net{Name: unescape(f[1]), Weight: wgt})
@@ -148,10 +149,10 @@ func Read(r io.Reader) (*netlist.Design, error) {
 				break
 			}
 			var ox, oy float64
-			if ox, err = strconv.ParseFloat(f[3], 64); err != nil {
+			if ox, err = parseFinite(f[3]); err != nil {
 				break
 			}
-			if oy, err = strconv.ParseFloat(f[4], 64); err != nil {
+			if oy, err = parseFinite(f[4]); err != nil {
 				break
 			}
 			if ci < 0 || ci >= len(d.Cells) {
@@ -176,7 +177,7 @@ func Read(r io.Reader) (*netlist.Design, error) {
 				break
 			}
 			var width float64
-			if width, err = strconv.ParseFloat(f[5], 64); err != nil {
+			if width, err = parseFinite(f[5]); err != nil {
 				break
 			}
 			d.Rails = append(d.Rails, netlist.PGRail{
@@ -211,13 +212,28 @@ func floats4(f []string) ([4]float64, error) {
 		return out, fmt.Errorf("want 4 numbers, got %d", len(f))
 	}
 	for i := 0; i < 4; i++ {
-		v, err := strconv.ParseFloat(f[i], 64)
+		v, err := parseFinite(f[i])
 		if err != nil {
 			return out, err
 		}
 		out[i] = v
 	}
 	return out, nil
+}
+
+// parseFinite parses a float and rejects NaN/±Inf: every geometric or
+// weight quantity in the format must be finite, and strconv.ParseFloat
+// happily accepts "NaN". One poisoned coordinate would otherwise slip past
+// Validate (NaN compares false to every bound) straight into the optimizer.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }
 
 func kindName(k netlist.CellKind) string { return k.String() }

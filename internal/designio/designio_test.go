@@ -110,6 +110,17 @@ func TestReadErrors(t *testing.T) {
 		"short cell":        "die 0 0 10 10\nrow 8 1\ncell a stdcell 1 1\n",
 		"bad net weight":    "die 0 0 10 10\nrow 8 1\nnet n one\n",
 		"invalid design":    "design d\ndie 0 0 10 10\nrow 0 1\n", // zero row height fails Validate
+		// strconv.ParseFloat accepts "NaN"/"Inf"; the reader must not.
+		"NaN die corner":  "die 0 0 NaN 10\nrow 8 1\n",
+		"NaN cell coord":  "die 0 0 10 10\nrow 8 1\ncell a stdcell NaN 1 1 1\n",
+		"Inf cell width":  "die 0 0 10 10\nrow 8 1\ncell a stdcell 1 1 +Inf 1\n",
+		"NaN net weight":  "die 0 0 10 10\nrow 8 1\nnet n nan\n",
+		"Inf pin offset":  "die 0 0 10 10\nrow 8 1\ncell a stdcell 1 1 1 1\nnet n 1\npin 0 0 Inf 0\n",
+		"NaN row height":  "die 0 0 10 10\nrow NaN 1\n",
+		"Inf density":     "die 0 0 10 10\nrow 8 1\ndensity Inf\n",
+		"NaN rail width":  "die 0 0 10 10\nrow 8 1\nrail 0 0 10 0 NaN\n",
+		"truncated cell":  "die 0 0 10 10\nrow 8 1\ncell a std",
+		"truncated float": "die 0 0 10 10\nrow 8 1\ncell a stdcell 1 1 1 1e",
 	}
 	for name, src := range cases {
 		if _, err := Read(strings.NewReader(src)); err == nil {

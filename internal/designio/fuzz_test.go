@@ -1,0 +1,70 @@
+package designio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the parser. The contract under fuzzing:
+// Read never panics, and any design it accepts is internally consistent —
+// Validate passed (Read runs it), every float is finite, and the design
+// round-trips through Write/Read.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid design, each directive in isolation, and the
+	// malformed shapes the table test checks (so the fuzzer starts near the
+	// interesting boundaries rather than in random-byte space).
+	seeds := []string{
+		"design d\ndie 0 0 10 10\nrow 8 1\nroute 4 1\ndensity 0.9\n" +
+			"cell a stdcell 5 5 1 8\ncell b stdcell 7 5 1 8\n" +
+			"net n 1\npin 0 0 0 0\npin 1 0 0 0\nrail 0 0 10 0 0.5\n",
+		"die 0 0 10 10\nrow 8 1\n",
+		"# comment only\n",
+		"die 0 0 NaN 10\n",
+		"cell a stdcell 1 1 1 1\n",
+		"pin 0 0 0 0\n",
+		"die 0 0 10 10\nrow 8 1\nnet n nan\n",
+		"die 0 0 10 10\nrow 8 1\ncell a stdcell 1e308 1e308 1e308 1e308\n",
+		"design _\ndie -1e9 -1e9 1e9 1e9\nrow 8 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always acceptable; panicking is not
+		}
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			for _, v := range []float64{c.X, c.Y, c.W, c.H} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted design has non-finite cell %d: %+v", i, c)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("Write of accepted design failed: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("accepted design does not round-trip: %v", err)
+		}
+	})
+}
+
+// FuzzReadLine fuzzes single directives appended to a minimal valid prefix,
+// concentrating coverage on per-directive field parsing.
+func FuzzReadLine(f *testing.F) {
+	for _, s := range []string{
+		"cell a stdcell 1 1 1 1", "net n 1", "pin 0 0 0 0",
+		"rail 0 0 1 0 1", "density 0.5", "route 4 1", "design x",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		src := "die 0 0 10 10\nrow 8 1\n" + strings.ReplaceAll(line, "\x00", "") + "\n"
+		_, _ = Read(strings.NewReader(src)) // must not panic
+	})
+}

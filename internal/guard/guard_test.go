@@ -1,0 +1,99 @@
+package guard
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"off": Off, "": Off, "warn": Warn, "recover": Recover,
+		"fail": Fail, "Recover": Recover, " FAIL ": Fail,
+	}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("retry"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+	for _, p := range []Policy{Off, Warn, Recover, Fail} {
+		rt, err := ParsePolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("policy %v does not round-trip through String/Parse", p)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Policy: Recover}
+	c.SetDefaults()
+	if c.MaxRetries != 3 || c.Backoff != 0.5 || c.CheckEvery != 1 {
+		t.Errorf("defaults = %+v, want MaxRetries 3, Backoff 0.5, CheckEvery 1", c)
+	}
+	// Negative sentinel: literal zero retries.
+	c = Config{Policy: Recover, MaxRetries: -1}
+	c.SetDefaults()
+	if c.MaxRetries != 0 {
+		t.Errorf("MaxRetries -1 resolved to %d, want 0", c.MaxRetries)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero Config must be disabled")
+	}
+	if err := (Config{Policy: Recover, Backoff: 1.5}).Validate(); err == nil {
+		t.Error("Validate accepted backoff 1.5")
+	}
+	if err := (Config{Policy: Off, Backoff: 1.5}).Validate(); err != nil {
+		t.Error("Validate must ignore a disabled config")
+	}
+}
+
+func TestFirstNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		v    []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{0, 1, -2.5}, -1},
+		{[]float64{0, nan, nan}, 1},
+		{[]float64{inf}, 0},
+		{[]float64{1, 2, -inf}, 2},
+		{[]float64{math.MaxFloat64, -math.MaxFloat64}, -1},
+	}
+	for _, c := range cases {
+		if got := FirstNonFinite(c.v); got != c.want {
+			t.Errorf("FirstNonFinite(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCheckers(t *testing.T) {
+	if v := CheckFinite("positions", "wl:3", []float64{1, math.NaN()}); v == nil || v.Index != 1 {
+		t.Errorf("CheckFinite missed the NaN: %v", v)
+	}
+	if v := CheckFinite("positions", "wl:3", []float64{1, 2}); v != nil {
+		t.Errorf("CheckFinite false positive: %v", v)
+	}
+	if v := CheckScalar("wirelength", "wl:0", math.Inf(-1)); v == nil {
+		t.Error("CheckScalar missed -Inf")
+	}
+	if v := CheckScalar("wirelength", "wl:0", 42); v != nil {
+		t.Errorf("CheckScalar false positive: %v", v)
+	}
+	if v := CheckRange("overflow", "wl:0", -0.5, 0, 100); v == nil {
+		t.Error("CheckRange missed a below-range value")
+	}
+	if v := CheckRange("overflow", "wl:0", math.NaN(), 0, 100); v == nil {
+		t.Error("CheckRange missed NaN")
+	}
+	if v := CheckRange("overflow", "wl:0", 0.3, 0, 100); v != nil {
+		t.Errorf("CheckRange false positive: %v", v)
+	}
+	viol := &Violation{Sentinel: "positions", Where: "routability:2.1", Index: 7, Value: math.NaN()}
+	if s := viol.String(); s == "" {
+		t.Error("empty violation string")
+	}
+}

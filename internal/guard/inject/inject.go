@@ -1,0 +1,205 @@
+// Package inject is the deterministic fault-injection registry behind the
+// guard layer's chaos tests. A Registry arms named injection points at
+// specific iteration indices; the pipeline consults ShouldFire at each
+// point and applies the corresponding fault exactly once per armed (point,
+// iteration) pair. A nil *Registry is the production configuration: every
+// method is a no-op on the nil receiver, so the hooks cost one pointer
+// comparison in unfaulted runs.
+//
+// Determinism contract: every fault is a pure function of the seed and the
+// armed schedule. The same seed and schedule produce the same poisoned
+// index, the same corrupted byte, the same cancellation step — at any
+// worker count — which is what lets the chaos suite assert byte-identical
+// recovery.
+package inject
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Named injection points the pipeline consults.
+const (
+	// WAGradNaN writes a NaN into one WA wirelength gradient component at
+	// objective evaluation k (the seed picks which component).
+	WAGradNaN = "wa_grad_nan"
+	// PoissonBin poisons one charge-density bin with +Inf immediately
+	// before the k-th Poisson solve of the density model.
+	PoissonBin = "poisson_bin"
+	// CkptCorrupt flips one seed-chosen byte of the checkpoint file right
+	// after the k-th checkpoint write (0-based).
+	CkptCorrupt = "ckpt_corrupt"
+	// CkptTruncate cuts the checkpoint file to a seed-chosen length after
+	// the k-th checkpoint write.
+	CkptTruncate = "ckpt_truncate"
+	// Cancel makes the pipeline act as if its context were cancelled at
+	// optimizer step k — deterministically, unlike a real timer.
+	Cancel = "cancel"
+)
+
+var knownPoints = map[string]bool{
+	WAGradNaN: true, PoissonBin: true, CkptCorrupt: true,
+	CkptTruncate: true, Cancel: true,
+}
+
+// Registry is a seed-driven schedule of armed faults. The zero value is
+// unusable; construct with New. Methods are safe for concurrent use, though
+// the pipeline only consults them from its serial sections.
+type Registry struct {
+	mu    sync.Mutex
+	seed  uint64
+	armed map[string]map[int]bool // point → iteration → already fired?
+	fired map[string]int          // point → times fired
+}
+
+// New creates an empty registry deriving all its pseudo-random choices
+// (poisoned bin index, corrupted byte offset, …) from seed.
+func New(seed int64) *Registry {
+	return &Registry{
+		seed:  uint64(seed),
+		armed: make(map[string]map[int]bool),
+		fired: make(map[string]int),
+	}
+}
+
+// Arm schedules the named point to fire at iteration iter (what "iteration"
+// counts is point-specific — see the point constants). Returns the registry
+// for chaining. Arming an unknown point panics: the schedule is authored by
+// tests, and a typo must not silently never fire.
+func (r *Registry) Arm(point string, iter int) *Registry {
+	if !knownPoints[point] {
+		panic(fmt.Sprintf("inject: unknown injection point %q", point))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.armed[point]
+	if m == nil {
+		m = make(map[int]bool)
+		r.armed[point] = m
+	}
+	m[iter] = false
+	return r
+}
+
+// ArmSpec arms from a "point:iter" string (e.g. "wa_grad_nan:30").
+func (r *Registry) ArmSpec(spec string) error {
+	point, it, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("inject: bad spec %q (want point:iter)", spec)
+	}
+	n, err := strconv.Atoi(it)
+	if err != nil || n < 0 {
+		return fmt.Errorf("inject: bad iteration in spec %q", spec)
+	}
+	if !knownPoints[point] {
+		return fmt.Errorf("inject: unknown injection point %q", point)
+	}
+	r.Arm(point, n)
+	return nil
+}
+
+// ShouldFire reports whether the named point is armed for iteration iter
+// and has not fired yet; a true return marks it fired. Nil-safe: the
+// production nil registry always returns false.
+func (r *Registry) ShouldFire(point string, iter int) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.armed[point]
+	if m == nil {
+		return false
+	}
+	fired, armed := m[iter]
+	if !armed || fired {
+		return false
+	}
+	m[iter] = true
+	r.fired[point]++
+	return true
+}
+
+// Fired returns how many times the named point has fired. Nil-safe.
+func (r *Registry) Fired(point string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired[point]
+}
+
+// Index derives a deterministic pseudo-random index in [0, n) from the seed
+// and the fire count so far — stable across runs with the same seed and
+// schedule, varying between distinct faults of one run.
+func (r *Registry) Index(point string, n int) int {
+	if r == nil || n <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := splitmix64(r.seed ^ hashString(point) ^ uint64(r.fired[point]))
+	return int(h % uint64(n))
+}
+
+// NaN returns the poison value for gradient faults.
+func (r *Registry) NaN() float64 { return math.NaN() }
+
+// CorruptFile flips one seed-chosen byte of the file in place (the
+// CkptCorrupt fault). The offset avoids the first line so the header stays
+// parseable and the corruption must be caught by the CRC, not by a missing
+// magic string.
+func (r *Registry) CorruptFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 2 {
+		return fmt.Errorf("inject: %s too short to corrupt", path)
+	}
+	lo := 1 + strings.IndexByte(string(data), '\n') // first byte after line 1
+	if lo <= 0 || lo >= len(data) {
+		lo = len(data) / 2
+	}
+	off := lo + int(splitmix64(r.seed^0x1)%uint64(len(data)-lo))
+	data[off] ^= 0x20 // flips letter case / digit↔symbol; never a no-op
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TruncateFile cuts the file to a seed-chosen fraction of its length
+// (between 10% and 90%, so neither empty nor complete).
+func (r *Registry) TruncateFile(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	n := fi.Size()
+	if n < 10 {
+		return fmt.Errorf("inject: %s too short to truncate", path)
+	}
+	frac := 0.1 + 0.8*float64(splitmix64(r.seed^0x2)%1000)/1000.0
+	return os.Truncate(path, int64(float64(n)*frac))
+}
+
+// splitmix64 is the standard 64-bit mixing function — deterministic,
+// dependency-free pseudo-randomness for fault choices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037 // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

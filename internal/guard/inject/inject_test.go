@@ -1,0 +1,140 @@
+package inject
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.ShouldFire(WAGradNaN, 0) {
+		t.Error("nil registry fired")
+	}
+	if r.Fired(WAGradNaN) != 0 {
+		t.Error("nil registry reports fires")
+	}
+	if r.Index(PoissonBin, 100) != 0 {
+		t.Error("nil registry index not 0")
+	}
+}
+
+func TestFireOnce(t *testing.T) {
+	r := New(1).Arm(WAGradNaN, 5).Arm(WAGradNaN, 9)
+	var fires []int
+	for it := 0; it < 20; it++ {
+		if r.ShouldFire(WAGradNaN, it) {
+			fires = append(fires, it)
+		}
+		// A second query of the same iteration must not fire again.
+		if r.ShouldFire(WAGradNaN, it) {
+			t.Fatalf("iteration %d fired twice", it)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 5 || fires[1] != 9 {
+		t.Fatalf("fired at %v, want [5 9]", fires)
+	}
+	if r.Fired(WAGradNaN) != 2 {
+		t.Fatalf("Fired = %d, want 2", r.Fired(WAGradNaN))
+	}
+	if r.ShouldFire(PoissonBin, 5) {
+		t.Error("unarmed point fired")
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	r := New(0)
+	if err := r.ArmSpec("cancel:12"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ShouldFire(Cancel, 12) {
+		t.Error("spec-armed point did not fire")
+	}
+	for _, bad := range []string{"cancel", "cancel:-1", "cancel:x", "bogus:1"} {
+		if err := r.ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArmUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Arm of an unknown point did not panic")
+		}
+	}()
+	New(0).Arm("typo_point", 1)
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	if a.Index(PoissonBin, 1024) != b.Index(PoissonBin, 1024) {
+		t.Error("same seed, different index")
+	}
+	if New(42).Index(PoissonBin, 1024) == New(43).Index(PoissonBin, 1024) &&
+		New(42).Index(PoissonBin, 7) == New(43).Index(PoissonBin, 7) {
+		t.Error("different seeds produce identical indices (suspicious)")
+	}
+	i := a.Index(PoissonBin, 16)
+	if i < 0 || i >= 16 {
+		t.Errorf("index %d out of range", i)
+	}
+	if !math.IsNaN(a.NaN()) {
+		t.Error("NaN() is not NaN")
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.ckpt")
+	orig := []byte("# header line\nbody body body body body\nend\n")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(7).CorruptFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if bytes.Equal(got, orig) {
+		t.Fatal("CorruptFile changed nothing")
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("CorruptFile changed length %d → %d", len(orig), len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+			if i <= bytes.IndexByte(orig, '\n') {
+				t.Errorf("corruption at %d inside the header line", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// Determinism: same seed corrupts the same byte.
+	path2 := filepath.Join(t.TempDir(), "g.ckpt")
+	os.WriteFile(path2, orig, 0o644)
+	New(7).CorruptFile(path2)
+	got2, _ := os.ReadFile(path2)
+	if !bytes.Equal(got, got2) {
+		t.Error("same seed produced different corruption")
+	}
+}
+
+func TestTruncateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.ckpt")
+	orig := bytes.Repeat([]byte("0123456789\n"), 20)
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(7).TruncateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	if fi.Size() <= 0 || fi.Size() >= int64(len(orig)) {
+		t.Fatalf("truncated size %d, want strictly between 0 and %d", fi.Size(), len(orig))
+	}
+}

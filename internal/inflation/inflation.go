@@ -7,16 +7,26 @@
 // and Table I comparisons exercise real alternatives.
 package inflation
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Inflator updates per-cell inflation ratios from a congestion observation.
 // congAt[i] is C_i^t: the congestion value (Eq. 3) of the G-cell containing
 // cell i's center; avg is C̄^t, the mean congestion over all G-cells.
+// Update returns an error (instead of panicking) when the congestion vector
+// does not have one entry per cell — an API-boundary mistake a caller can
+// make and therefore must be able to handle.
 type Inflator interface {
-	Update(congAt []float64, avg float64)
+	Update(congAt []float64, avg float64) error
 	// Ratios returns the current inflation ratio per cell. The returned
 	// slice aliases internal state; callers must not modify it.
 	Ratios() []float64
+}
+
+func lengthErr(got, want int) error {
+	return fmt.Errorf("inflation: congestion vector has %d entries, want %d", got, want)
 }
 
 // epsAvg guards divisions by near-zero average congestion in Eq. 12.
@@ -57,9 +67,9 @@ func NewMomentum(numCells int) *Momentum {
 }
 
 // Update applies one inflation iteration (Eq. 11–12).
-func (m *Momentum) Update(congAt []float64, avg float64) {
+func (m *Momentum) Update(congAt []float64, avg float64) error {
 	if len(congAt) != len(m.r) {
-		panic("inflation: congestion vector length mismatch")
+		return lengthErr(len(congAt), len(m.r))
 	}
 	m.t++
 	for i, c := range congAt {
@@ -89,6 +99,7 @@ func (m *Momentum) Update(congAt []float64, avg float64) {
 		m.cPrev[i] = c
 	}
 	m.avgPrev = avg
+	return nil
 }
 
 // Ratios returns the current inflation ratios (aliases internal state).
@@ -115,13 +126,14 @@ func NewMonotonic(numCells int) *Monotonic {
 }
 
 // Update grows each ratio by its current congestion; never shrinks.
-func (m *Monotonic) Update(congAt []float64, _ float64) {
+func (m *Monotonic) Update(congAt []float64, _ float64) error {
 	if len(congAt) != len(m.r) {
-		panic("inflation: congestion vector length mismatch")
+		return lengthErr(len(congAt), len(m.r))
 	}
 	for i, c := range congAt {
 		m.r[i] = clamp(m.r[i]*(1+m.Beta*c), 1, m.RMax)
 	}
+	return nil
 }
 
 // Ratios returns the current inflation ratios (aliases internal state).
@@ -143,13 +155,14 @@ func NewPresentOnly(numCells int) *PresentOnly {
 }
 
 // Update sets r_i = clamp(1 + C_i, 1, RMax) from the present congestion.
-func (p *PresentOnly) Update(congAt []float64, _ float64) {
+func (p *PresentOnly) Update(congAt []float64, _ float64) error {
 	if len(congAt) != len(p.r) {
-		panic("inflation: congestion vector length mismatch")
+		return lengthErr(len(congAt), len(p.r))
 	}
 	for i, c := range congAt {
 		p.r[i] = clamp(1+c, 1, p.RMax)
 	}
+	return nil
 }
 
 // Ratios returns the current inflation ratios (aliases internal state).

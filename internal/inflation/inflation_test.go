@@ -171,16 +171,11 @@ func TestPresentOnlyForgetsImmediately(t *testing.T) {
 	}
 }
 
-func TestUpdatePanicsOnLengthMismatch(t *testing.T) {
+func TestUpdateRejectsLengthMismatch(t *testing.T) {
 	for _, inf := range []Inflator{NewMomentum(2), NewMonotonic(2), NewPresentOnly(2)} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%T: length mismatch not caught", inf)
-				}
-			}()
-			inf.Update([]float64{1}, 0)
-		}()
+		if err := inf.Update([]float64{1}, 0); err == nil {
+			t.Errorf("%T: length mismatch not caught", inf)
+		}
 	}
 }
 

@@ -44,6 +44,11 @@ type Optimizer struct {
 	g     []float64
 	first bool
 	step0 float64
+	// stepScale multiplies every step estimate (1 = no scaling). The guard
+	// layer's divergence recovery shrinks it via ShrinkStep; it is iteration
+	// state (serialized in State) because the retried trajectory depends on
+	// it.
+	stepScale float64
 }
 
 // New creates an optimizer for an n-dimensional problem starting at x0
@@ -51,17 +56,18 @@ type Optimizer struct {
 func New(x0 []float64, step0 float64) *Optimizer {
 	n := len(x0)
 	o := &Optimizer{
-		StepMin: 1e-8,
-		StepMax: math.Inf(1),
-		n:       n,
-		a:       1,
-		u:       append([]float64(nil), x0...),
-		v:       append([]float64(nil), x0...),
-		vPrev:   make([]float64, n),
-		gPrev:   make([]float64, n),
-		g:       make([]float64, n),
-		first:   true,
-		step0:   step0,
+		StepMin:   1e-8,
+		StepMax:   math.Inf(1),
+		n:         n,
+		a:         1,
+		u:         append([]float64(nil), x0...),
+		v:         append([]float64(nil), x0...),
+		vPrev:     make([]float64, n),
+		gPrev:     make([]float64, n),
+		g:         make([]float64, n),
+		first:     true,
+		step0:     step0,
+		stepScale: 1,
 	}
 	return o
 }
@@ -92,7 +98,7 @@ func (o *Optimizer) Step(obj Objective) (val, step float64) {
 	obj.Precondition(o.g)
 
 	if o.first {
-		step = o.step0
+		step = o.step0 * o.stepScale
 		o.first = false
 	} else {
 		// Inverse local Lipschitz constant: |Δv| / |Δg|.
@@ -108,6 +114,7 @@ func (o *Optimizer) Step(obj Objective) (val, step float64) {
 		} else {
 			step = o.step0
 		}
+		step *= o.stepScale
 		if step < o.StepMin {
 			step = o.StepMin
 		}
@@ -140,6 +147,17 @@ func (o *Optimizer) Step(obj Objective) (val, step float64) {
 // Steps returns the cumulative number of Step calls (across Resets).
 func (o *Optimizer) Steps() int { return o.steps }
 
+// ShrinkStep multiplies the optimizer's step estimate by f from now on:
+// the initial step and every Lipschitz estimate are scaled by the cumulative
+// product of all ShrinkStep calls. The guard layer's divergence recovery
+// calls this after rolling back to a last-good snapshot so the retried
+// trajectory takes smaller steps. Scaling is iteration state: it is carried
+// in State and therefore survives snapshots and checkpoints.
+func (o *Optimizer) ShrinkStep(f float64) { o.stepScale *= f }
+
+// StepScale returns the cumulative step-scale factor (1 when never shrunk).
+func (o *Optimizer) StepScale() float64 { return o.stepScale }
+
 // State is a complete serializable snapshot of the optimizer's iteration
 // state (everything Step reads besides the Objective): the momentum scalar,
 // the first-step flag, the cumulative step count and the four iterate
@@ -150,6 +168,9 @@ type State struct {
 	A     float64
 	First bool
 	Steps int
+	// Scale is the cumulative ShrinkStep factor (1 when never shrunk; a
+	// zero value is mapped to 1 by SetState for hand-built states).
+	Scale float64
 	U     []float64
 	V     []float64
 	VPrev []float64
@@ -162,11 +183,26 @@ func (o *Optimizer) State() State {
 		A:     o.a,
 		First: o.first,
 		Steps: o.steps,
+		Scale: o.stepScale,
 		U:     append([]float64(nil), o.u...),
 		V:     append([]float64(nil), o.v...),
 		VPrev: append([]float64(nil), o.vPrev...),
 		GPrev: append([]float64(nil), o.gPrev...),
 	}
+}
+
+// StateInto is State without the allocations: it copies the iteration state
+// into s, reusing s's vectors when their lengths match. The guard layer's
+// rolling last-good snapshot calls this every few optimizer steps.
+func (o *Optimizer) StateInto(s *State) {
+	s.A = o.a
+	s.First = o.first
+	s.Steps = o.steps
+	s.Scale = o.stepScale
+	s.U = append(s.U[:0], o.u...)
+	s.V = append(s.V[:0], o.v...)
+	s.VPrev = append(s.VPrev[:0], o.vPrev...)
+	s.GPrev = append(s.GPrev[:0], o.gPrev...)
 }
 
 // SetState overwrites the optimizer's iteration state with a snapshot taken
@@ -181,6 +217,12 @@ func (o *Optimizer) SetState(s State) error {
 	o.a = s.A
 	o.first = s.First
 	o.steps = s.Steps
+	o.stepScale = s.Scale
+	if o.stepScale == 0 {
+		// A zero scale would freeze the optimizer; it can only come from a
+		// hand-built State that predates the field. Treat it as "unscaled".
+		o.stepScale = 1
+	}
 	copy(o.u, s.U)
 	copy(o.v, s.V)
 	copy(o.vPrev, s.VPrev)

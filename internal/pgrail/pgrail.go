@@ -7,6 +7,8 @@
 package pgrail
 
 import (
+	"fmt"
+
 	"repro/internal/geom"
 	"repro/internal/netlist"
 )
@@ -65,10 +67,13 @@ type BinGrid struct {
 //
 // returning area-per-bin values (the density model divides by A_b), where
 // η_b = 1 iff the bin's congestion C_b exceeds the average C̄ (Eq. 15).
-// cong is the bin-mapped congestion map with NX·NY entries, avg its mean.
-func Density(selected []netlist.PGRail, grid BinGrid, cong []float64, avg float64) []float64 {
+// cong is the bin-mapped congestion map with NX·NY entries, avg its mean; a
+// map of the wrong size is an API-boundary mistake reported as an error,
+// not a panic.
+func Density(selected []netlist.PGRail, grid BinGrid, cong []float64, avg float64) ([]float64, error) {
 	if len(cong) != grid.NX*grid.NY {
-		panic("pgrail: congestion map length mismatch")
+		return nil, fmt.Errorf("pgrail: congestion map has %d entries, grid is %dx%d",
+			len(cong), grid.NX, grid.NY)
 	}
 	out := make([]float64, grid.NX*grid.NY)
 	for _, rail := range selected {
@@ -99,17 +104,14 @@ func Density(selected []netlist.PGRail, grid BinGrid, cong []float64, avg float6
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // StaticDensity is the Xplace-Route-style baseline (Sec. III-C: "Xplace-Route
 // only adjusts cell density around PG rails before placement"): every rail —
 // unselected, uncut — contributes its overlap area to every bin it touches,
 // with no congestion gating and no per-iteration adaptation.
-func StaticDensity(d *netlist.Design, grid BinGrid) []float64 {
-	out := make([]float64, grid.NX*grid.NY)
+func StaticDensity(d *netlist.Design, grid BinGrid) ([]float64, error) {
 	ones := make([]float64, grid.NX*grid.NY) // C_b = 0 everywhere, η forced on
-	res := Density(d.Rails, grid, ones, -1)  // avg −1 < 0 = every bin passes
-	copy(out, res)
-	return out
+	return Density(d.Rails, grid, ones, -1)  // avg −1 < 0 = every bin passes
 }

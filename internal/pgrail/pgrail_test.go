@@ -118,7 +118,10 @@ func TestDensityGatedByCongestion(t *testing.T) {
 		cong[5*10+bx] = 0.5
 	}
 	avg := 0.025 // mean over the map
-	out := Density(rails, g, cong, avg)
+	out, err := Density(rails, g, cong, avg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for bx := 0; bx < 10; bx++ {
 		b := 5*10 + bx
 		if bx < 5 {
@@ -152,7 +155,10 @@ func TestDensityWeightGrowsWithCongestion(t *testing.T) {
 	mk := func(c float64) float64 {
 		cong := make([]float64, 100)
 		cong[5*10+2] = c
-		out := Density(rails, g, cong, c/200)
+		out, err := Density(rails, g, cong, c/200)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return out[5*10+2]
 	}
 	lo := mk(0.3)
@@ -165,19 +171,22 @@ func TestDensityWeightGrowsWithCongestion(t *testing.T) {
 	}
 }
 
-func TestDensityPanicsOnBadLength(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("bad congestion length not caught")
-		}
-	}()
-	Density(nil, testGrid(), make([]float64, 3), 0)
+func TestDensityRejectsBadLength(t *testing.T) {
+	if _, err := Density(nil, testGrid(), make([]float64, 3), 0); err == nil {
+		t.Errorf("bad congestion length not caught")
+	}
+	if _, err := Density(nil, testGrid(), nil, 0); err == nil {
+		t.Errorf("nil congestion map not caught")
+	}
 }
 
 func TestStaticDensityCoversAllRails(t *testing.T) {
 	d := railDesign(t)
 	g := testGrid()
-	out := StaticDensity(d, g)
+	out, err := StaticDensity(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var total float64
 	for _, v := range out {
 		total += v
@@ -199,10 +208,16 @@ func TestDynamicChangesWithCongestionStaticDoesNot(t *testing.T) {
 
 	congA := make([]float64, 100)
 	congA[8*10+3] = 1.0 // bin under the y=80 rail
-	dynA := Density(sel, g, congA, 0.005)
+	dynA, err := Density(sel, g, congA, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	congB := make([]float64, 100) // congestion cleared
-	dynB := Density(sel, g, congB, 0)
+	dynB, err := Density(sel, g, congB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var sumA, sumB float64
 	for i := range dynA {
@@ -213,8 +228,11 @@ func TestDynamicChangesWithCongestionStaticDoesNot(t *testing.T) {
 		t.Errorf("dynamic density did not respond to congestion: %v vs %v", sumA, sumB)
 	}
 	// Static is congestion-independent by construction.
-	s1 := StaticDensity(d, g)
-	s2 := StaticDensity(d, g)
+	s1, err1 := StaticDensity(d, g)
+	s2, err2 := StaticDensity(d, g)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	for i := range s1 {
 		if s1[i] != s2[i] {
 			t.Fatalf("static density not deterministic")

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/guard"
 	"repro/internal/netlist"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -143,6 +144,49 @@ func PlaceContext(ctx context.Context, d *Design, opt Options) (*Result, error) 
 func Resume(ctx context.Context, d *Design, ck io.Reader, opt Options) (*Result, error) {
 	return core.ResumeContext(ctx, d, ck, opt)
 }
+
+// ResumeFile is Resume reading the checkpoint from path. When the primary
+// file fails its integrity check (ErrCheckpointCorrupt) and a rotated
+// sibling path+".prev" exists, it falls back to that previous checkpoint
+// automatically — the run replays a little further back but still completes
+// byte-identical to the uninterrupted run.
+func ResumeFile(ctx context.Context, d *Design, path string, opt Options) (*Result, error) {
+	return core.ResumeFromFile(ctx, d, path, opt)
+}
+
+// GuardConfig configures the numeric guardrails on Options.Guard. The zero
+// value (policy GuardOff) disables all scans; see internal/guard and
+// DESIGN.md §9 for the failure model.
+type GuardConfig = guard.Config
+
+// GuardPolicy selects how the pipeline reacts to a numeric-invariant
+// violation: GuardOff, GuardWarn, GuardRecover or GuardFail.
+type GuardPolicy = guard.Policy
+
+// Guard policy values for GuardConfig.Policy.
+const (
+	GuardOff     = guard.Off
+	GuardWarn    = guard.Warn
+	GuardRecover = guard.Recover
+	GuardFail    = guard.Fail
+)
+
+// ParseGuardPolicy converts "off", "warn", "recover" or "fail" into a
+// GuardPolicy (the -guard flag syntax of cmd/placer).
+func ParseGuardPolicy(s string) (GuardPolicy, error) { return guard.ParsePolicy(s) }
+
+// Typed failures of the robustness layer. Match with errors.Is: a corrupted
+// or truncated checkpoint fails Resume/ResumeFile with ErrCheckpointCorrupt;
+// a design the pipeline cannot place (no movable cells, zero-area die, no
+// routable net) fails Place with ErrDegenerateDesign; under GuardFail a
+// sentinel hit returns ErrGuardViolation, and under GuardRecover a run that
+// exhausts its retry budget returns ErrGuardBudgetExhausted.
+var (
+	ErrCheckpointCorrupt    = core.ErrCheckpointCorrupt
+	ErrDegenerateDesign     = core.ErrDegenerateDesign
+	ErrGuardViolation       = guard.ErrViolation
+	ErrGuardBudgetExhausted = guard.ErrBudgetExhausted
+)
 
 // Evaluate routes d's current placement at high effort and returns the
 // DRWL/#DRVias/#DRVs scorecard without moving any cell.
