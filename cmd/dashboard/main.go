@@ -1,0 +1,125 @@
+// Command dashboard replays a saved JSONL telemetry trace in the live
+// observability UI: the same HTML page `placer -serve` streams during a
+// run, fed from the trace file instead. With a second trace the page adds
+// an A/B panel holding the trace diff (report.Compare) — per-stage timing
+// deltas, per-metric final-value deltas and iteration-count drift.
+//
+// Usage:
+//
+//	go run ./cmd/dashboard [-addr localhost:8080] trace.jsonl
+//	go run ./cmd/dashboard a.jsonl b.jsonl        # A/B: page shows diff vs b
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/dashboard"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dashboard [-addr host:port] <trace.jsonl> [b.jsonl]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
+		return 2
+	}
+
+	// Feed the whole trace into a hub, then close it: subscribers (the SSE
+	// handler) see the complete stream as backlog followed by eof, exactly
+	// like a live run that has finished.
+	hub := telemetry.NewHub(nil)
+	if err := feedFile(hub, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	hub.Close()
+
+	title := "replay: " + flag.Arg(0)
+	srv := dashboard.NewServer(hub, title)
+	if flag.NArg() == 2 {
+		a, err := parseFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		b, err := parseFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "A = %s\nB = %s\n\n", flag.Arg(0), flag.Arg(1))
+		report.Compare(a, b).WriteReport(&sb)
+		srv.SetDiff(sb.String())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "dashboard listening on http://%s/\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// feedFile writes each line of the trace file into the hub.
+func feedFile(hub *telemetry.Hub, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		tok := sc.Bytes()
+		if len(tok) == 0 {
+			continue
+		}
+		line := make([]byte, len(tok)+1)
+		copy(line, tok)
+		line[len(tok)] = '\n'
+		if _, err := hub.Write(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// parseFile reads a trace file through the report parser, reporting
+// malformed lines to stderr.
+func parseFile(path string) (*report.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := report.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range tr.Malformed {
+		fmt.Fprintf(os.Stderr, "%s:%d: skipping malformed trace line: %v\n", path, m.Line, m.Err)
+	}
+	return tr, nil
+}

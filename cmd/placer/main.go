@@ -12,7 +12,15 @@
 //	-metrics           print the per-stage timing table and the metrics
 //	                   registry after the run
 //	-pprof addr        serve net/http/pprof at addr (e.g. localhost:6060)
-//	                   for live CPU/heap profiling of long runs
+//	                   for live CPU/heap profiling of long runs; pipeline
+//	                   stages are labeled (pprof -tagfocus=stage=...)
+//	-serve addr        serve the live HTML dashboard at addr (e.g.
+//	                   localhost:8080): convergence charts, congestion
+//	                   heatmap, stage timings and metrics, streamed over
+//	                   SSE while the run progresses. Composes with -trace;
+//	                   the written trace is byte-identical with or without
+//	                   -serve. After the run completes the server keeps
+//	                   serving until interrupted
 //
 // Checkpoint/resume flags:
 //
@@ -48,11 +56,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/dashboard"
 	"repro/internal/designio"
 	"repro/internal/guard"
 	"repro/internal/synth"
@@ -92,6 +105,7 @@ func run() (code int) {
 	outPath := flag.String("out", "", "write the final placement to this file (designio format)")
 	guardFlag := flag.String("guard", "", "numeric guardrail policy: off | warn | recover | fail")
 	guardRetries := flag.Int("guard-retries", 0, "divergence-recovery retry budget for -guard recover (0 = default)")
+	serveAddr := flag.String("serve", "", "serve the live HTML dashboard at this address (e.g. localhost:8080)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -136,14 +150,14 @@ func run() (code int) {
 		opt.Log = os.Stderr
 	}
 
-	var obs *telemetry.Observer
 	var traceFile *os.File
-	out := os.Stdout // human-readable summary sink
+	var sink io.Writer // canonical JSONL destination; stays nil without -trace
+	out := os.Stdout   // human-readable summary sink
 	switch {
 	case *tracePath == "-":
 		// Trace owns stdout; keep the JSONL stream clean by moving the
 		// summary to stderr so `placer -trace - | tracereport -` works.
-		obs = telemetry.NewObserver(os.Stdout)
+		sink = os.Stdout
 		out = os.Stderr
 	case *tracePath != "":
 		traceFile, err = os.Create(*tracePath)
@@ -151,9 +165,33 @@ func run() (code int) {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		obs = telemetry.NewObserver(traceFile)
-	case *metrics:
-		obs = telemetry.NewObserver(nil) // aggregate in memory only
+		sink = traceFile
+	}
+
+	// The dashboard hub wraps the canonical sink: every event line passes
+	// through byte-for-byte before being broadcast, so the written trace is
+	// identical with or without -serve.
+	var hub *telemetry.Hub
+	if *serveAddr != "" {
+		hub = telemetry.NewHub(sink)
+		sink = hub
+		ln, lerr := net.Listen("tcp", *serveAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "dashboard: %v\n", lerr)
+			return 1
+		}
+		srv := dashboard.NewServer(hub, fmt.Sprintf("%s — mode %s", *design, *mode))
+		go func() {
+			if serr := http.Serve(ln, srv.Handler()); serr != nil && !errors.Is(serr, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "dashboard server: %v\n", serr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dashboard listening on http://%s/\n", ln.Addr())
+	}
+
+	var obs *telemetry.Observer
+	if sink != nil || *metrics {
+		obs = telemetry.NewObserver(sink) // nil sink: aggregate in memory only
 	}
 	opt.Observer = obs
 
@@ -175,6 +213,9 @@ func run() (code int) {
 			if cerr := traceFile.Close(); cerr != nil {
 				fmt.Fprintf(os.Stderr, "trace: %v\n", cerr)
 			}
+		}
+		if hub != nil {
+			hub.Close() // live SSE subscribers receive eof
 		}
 	}
 	switch {
@@ -211,6 +252,11 @@ func run() (code int) {
 		return 1
 	}
 	if obs != nil {
+		if hub != nil {
+			// Streaming loss accounting. Volatile: the count depends on
+			// subscriber timing, so it never enters the canonical trace.
+			obs.VolatileGauge("telemetry.dropped_events").Set(float64(hub.Dropped()))
+		}
 		if err := obs.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		}
@@ -262,6 +308,13 @@ func run() (code int) {
 			}
 		}
 		fmt.Fprintf(out, "(* volatile: wall-clock/environment metric, excluded from canonical traces)\n")
+	}
+
+	if *serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "run complete; dashboard still serving — interrupt to exit\n")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 	return 0
 }

@@ -23,6 +23,7 @@ func main() {
 	cells := flag.Bool("cells", true, "draw cells")
 	rails := flag.Bool("rails", false, "draw selected PG rails")
 	heat := flag.Bool("heat", true, "draw congestion heat underlay")
+	heatPNG := flag.String("heatpng", "", "also write the congestion grid as a standalone PNG heatmap (same renderer as the dashboard)")
 	flag.Parse()
 
 	d, err := synth.Generate(*design)
@@ -48,11 +49,26 @@ func main() {
 	if *rails {
 		opt.Selected = nmplace.SelectPGRails(d)
 	}
-	if *heat {
+	if *heat || *heatPNG != "" {
 		g := route.NewGrid(d, core.DefaultGridHint(len(d.Cells)))
 		res := route.NewRouter(d, g).Route()
-		opt.Congestion = res.Congestion
-		opt.NX, opt.NY = g.NX, g.NY
+		if *heat {
+			opt.Congestion = res.Congestion
+			opt.NX, opt.NY = g.NX, g.NY
+		}
+		if *heatPNG != "" {
+			pf, err := os.Create(*heatPNG)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := plot.WriteHeatmapPNG(pf, res.Congestion, g.NX, g.NY, 8); err != nil {
+				log.Fatal(err)
+			}
+			if err := pf.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *heatPNG)
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -7,16 +7,15 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"testing"
-	"time"
 
 	"repro/internal/guard"
 	"repro/internal/guard/inject"
 	"repro/internal/netlist"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 // The chaos suite: deterministic fault injection against the guard layer.
@@ -351,7 +350,7 @@ func TestChaosCancelInjection(t *testing.T) {
 		t.Skip("full placement runs; skipped in -short")
 	}
 	_, refPos, _ := placeRun(t, "tiny_hot", 1)
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.GoroutineBaseline()
 
 	ckPath := filepath.Join(t.TempDir(), "cancel.ckpt")
 	inj := inject.New(11).Arm(inject.Cancel, 20)
@@ -378,14 +377,7 @@ func TestChaosCancelInjection(t *testing.T) {
 		}
 	}
 
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+	testutil.AssertNoGoroutineLeak(t, baseline)
 }
 
 // TestDegenerateDesignsRejected: the pipeline entry must refuse designs it

@@ -7,13 +7,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"testing"
-	"time"
 
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 // TestOptionsSentinelDefaults covers the zero-value trap fix: 0 selects the
@@ -266,7 +265,7 @@ func TestCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.GoroutineBaseline()
 	for _, tc := range []struct{ name, trigger string }{
 		{"wirelength", "phase 1:"},
 		{"route_iter", "route iter 1:"},
@@ -327,12 +326,5 @@ func TestCancellation(t *testing.T) {
 
 	// Goroutine accounting: allow the runtime a moment to retire workers,
 	// then require the count back near the pre-test baseline.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d now vs %d before cancellation tests", runtime.NumGoroutine(), baseline)
+	testutil.AssertNoGoroutineLeak(t, baseline)
 }

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -261,7 +262,13 @@ func runPipeline(ctx context.Context, ps *PlacementState) (*Result, error) {
 		if stageIndex(ps.cur.stage) > stageIndex(st.Name()) {
 			continue // already done per the resumed cursor
 		}
-		if err := st.Run(ctx, ps); err != nil {
+		// Label the stage for CPU/goroutine profiles: `go tool pprof`
+		// -tagfocus=stage=<name> isolates one pipeline stage.
+		var err error
+		pprof.Do(ctx, pprof.Labels("stage", st.Name()), func(ctx context.Context) {
+			err = st.Run(ctx, ps)
+		})
+		if err != nil {
 			return ps.fail(err)
 		}
 		if err := ps.afterStage(st.Name()); err != nil {
@@ -696,6 +703,11 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 					telemetry.F("gamma", ps.wl.Gamma()),
 					telemetry.F("infl_mean", inflMean),
 					telemetry.F("infl_max", inflMax))
+				// Quantized congestion frame for heatmap replay (dashboard,
+				// trace tooling). Emitted only on fresh iterations — resumed
+				// runs skip committed iterations, keeping the trace
+				// continuation byte-exact.
+				obs.Grid("congestion", it, ps.grid.NX, ps.grid.NY, rres.Congestion)
 			}
 
 			// Stop when C(x,y) no longer decreases (Fig. 2); remember the

@@ -11,6 +11,7 @@ import (
 	"repro/internal/nesterov"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/report"
 	"repro/internal/wirelength"
 )
 
@@ -90,7 +91,7 @@ func TestTraceDeterministic(t *testing.T) {
 
 func TestTraceSpansCoverPlaceTime(t *testing.T) {
 	res, raw, _ := tracedRun(t, nil)
-	tr, err := telemetry.ReadTrace(bytes.NewReader(raw))
+	tr, err := report.ReadTrace(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestLogLinesMirroredToTrace(t *testing.T) {
 	// the trace (satellite: logs and traces can never drift apart).
 	var logSink strings.Builder
 	_, raw, _ := tracedRun(t, &logSink)
-	tr, err := telemetry.ReadTrace(bytes.NewReader(raw))
+	tr, err := report.ReadTrace(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestLogLinesMirroredToTrace(t *testing.T) {
 
 func TestTraceSnapshotsPresent(t *testing.T) {
 	res, raw, met := tracedRun(t, nil)
-	tr, err := telemetry.ReadTrace(bytes.NewReader(raw))
+	tr, err := report.ReadTrace(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,6 +184,17 @@ func TestTraceSnapshotsPresent(t *testing.T) {
 	}
 	if n := len(tr.Snaps["route_iter"]); n != res.RouteIters {
 		t.Errorf("route_iter snapshots %d != RouteIters %d", n, res.RouteIters)
+	}
+	// One congestion heatmap frame per route iteration, decodable.
+	grids := tr.Grids["congestion"]
+	if len(grids) != res.RouteIters {
+		t.Errorf("congestion grid frames %d != RouteIters %d", len(grids), res.RouteIters)
+	}
+	for _, g := range grids {
+		if g.NX <= 0 || g.NY <= 0 || len(g.Data) != g.NX*g.NY {
+			t.Errorf("grid frame iter %d malformed: nx=%d ny=%d len(data)=%d",
+				g.Iter, g.NX, g.NY, len(g.Data))
+		}
 	}
 	// The convergence fields the paper's Fig. 2 loop reasons about.
 	first := tr.Snaps["route_iter"][0]

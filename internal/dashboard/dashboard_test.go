@@ -1,0 +1,303 @@
+package dashboard
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"image/png"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/testutil"
+)
+
+// feedTrace writes a canned trace into a hub, line by line.
+func feedTrace(t *testing.T, hub *telemetry.Hub, raw []byte) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := append(append([]byte(nil), sc.Bytes()...), '\n')
+		if _, err := hub.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smallTrace emits a representative trace: spans, snapshots, a grid frame,
+// a guard log line and a metric dump.
+func smallTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	o := telemetry.NewObserver(&buf)
+	sp := o.StartSpan("place")
+	o.Log("guard: recovered from divergence at iter 2")
+	for i := 0; i < 3; i++ {
+		o.Snapshot("route_iter", i, telemetry.F("hpwl", 100-float64(i)))
+		o.Grid("congestion", i, 2, 2, []float64{0.1, 0.9, 0.4, float64(i)})
+	}
+	sp.End()
+	o.Counter("route.calls").Add(3)
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPageServed(t *testing.T) {
+	hub := telemetry.NewHub(nil)
+	srv := NewServer(hub, "tiny_hot — mode ours")
+	srv.SetDiff("Deterministic drift: NONE")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("page status %d", resp.StatusCode)
+	}
+	page := string(body)
+	for _, want := range []string{
+		"<!doctype html", "tiny_hot — mode ours", "EventSource",
+		"Deterministic drift: NONE", "/heatmap?iter=",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Unknown paths 404 rather than serving the page.
+	if resp, err := http.Get(ts.URL + "/nope"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("unknown path status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestEventsStreamReplaysBacklogAndEOF(t *testing.T) {
+	hub := telemetry.NewHub(nil)
+	raw := smallTrace(t)
+	feedTrace(t, hub, raw)
+	hub.Close() // finished run: SSE must replay everything then signal eof
+
+	ts := httptest.NewServer(NewServer(hub, "t").Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body) // terminates at eof
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	wantLines := bytes.Count(bytes.TrimSpace(raw), []byte("\n")) + 1
+	if got := strings.Count(s, "data: {\"seq\""); got != wantLines {
+		t.Errorf("SSE replayed %d events, want %d", got, wantLines)
+	}
+	if !strings.Contains(s, "event: eof") {
+		t.Errorf("SSE stream missing eof marker:\n%s", s)
+	}
+}
+
+func TestHeatmapEndpoint(t *testing.T) {
+	hub := telemetry.NewHub(nil)
+	feedTrace(t, hub, smallTrace(t))
+	ts := httptest.NewServer(NewServer(hub, "t").Handler())
+	defer ts.Close()
+
+	for _, url := range []string{"/heatmap?iter=1", "/heatmap"} { // explicit and latest
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d", url, resp.StatusCode)
+		}
+		img, err := png.Decode(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: not a PNG: %v", url, err)
+		}
+		if b := img.Bounds(); b.Dx() != 16 || b.Dy() != 16 {
+			t.Errorf("%s: bounds %v, want 16×16", url, b)
+		}
+	}
+	// Missing frame and bad params.
+	for url, want := range map[string]int{
+		"/heatmap?iter=99": 404,
+		"/heatmap?iter=x":  400,
+		"/heatmap?name=no": 404,
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s status %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestPlaceWithDashboardCanonicalIdentity is the tentpole invariant, end to
+// end: a real placement with the dashboard serving and a deliberately slow
+// subscriber attached produces a byte-identical canonical trace to a plain
+// run, drops are counted, and no goroutines outlive Place.
+func TestPlaceWithDashboardCanonicalIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	opts := func() core.Options {
+		return core.Options{
+			Mode:              core.ModeOurs,
+			Tech:              core.AllTechniques(),
+			GridHint:          32,
+			MaxWLIters:        120,
+			MaxRouteIters:     6,
+			StepsPerRouteIter: 8,
+		}
+	}
+
+	// Reference run: plain buffer sink, no streaming.
+	runPlain := func() []byte {
+		d := synth.MustGenerate("tiny_hot")
+		var trace bytes.Buffer
+		obs := telemetry.NewObserver(&trace)
+		opt := opts()
+		opt.Observer = obs
+		if _, err := core.Place(d, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return trace.Bytes()
+	}
+	plain := runPlain()
+
+	baseline := testutil.GoroutineBaseline()
+
+	// Streamed run: hub + dashboard server + a one-slot subscriber that
+	// never drains (the pathological client).
+	d := synth.MustGenerate("tiny_hot")
+	var trace bytes.Buffer
+	hub := telemetry.NewHub(&trace)
+	_, stuck := hub.Subscribe(1)
+	ts := httptest.NewServer(NewServer(hub, "tiny_hot").Handler())
+	obs := telemetry.NewObserver(hub)
+	opt := opts()
+	opt.Observer = obs
+	if _, err := core.Place(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror cmd/placer: record the drop count as a volatile gauge before
+	// the metric dump, then flush and close.
+	obs.VolatileGauge("telemetry.dropped_events").Set(float64(hub.Dropped()))
+	if err := obs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hub.Close()
+
+	// A trace big enough to overflow the one-slot channel must have drops.
+	if hub.Dropped() == 0 {
+		t.Error("stuck subscriber dropped nothing; drop accounting broken")
+	}
+	if stuck.Dropped() == 0 {
+		t.Error("per-subscription drop count empty")
+	}
+
+	// Hard invariant: canonical traces byte-identical.
+	c1, err := telemetry.StripTimings(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := telemetry.StripTimings(trace.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		a := strings.Split(string(c1), "\n")
+		b := strings.Split(string(c2), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("canonical traces diverge at line %d:\n  plain:    %s\n  streamed: %s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("canonical traces differ in length: %d vs %d lines", len(a), len(b))
+	}
+
+	// The dashboard still serves the finished run.
+	resp, err := http.Get(ts.URL + "/heatmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := resp.StatusCode == 200
+	resp.Body.Close()
+	if !ok {
+		t.Errorf("heatmap unavailable after run: %d", resp.StatusCode)
+	}
+
+	// No goroutines may outlive the run once the server shuts down.
+	ts.Close()
+	testutil.AssertNoGoroutineLeak(t, baseline)
+}
+
+func TestSSEClientSeesLiveTail(t *testing.T) {
+	hub := telemetry.NewHub(nil)
+	hub.Write([]byte(`{"seq":0,"ev":"log","msg":"before"}` + "\n"))
+	ts := httptest.NewServer(NewServer(hub, "t").Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	readEvent := func() string {
+		var sb strings.Builder
+		for {
+			line, err := rd.ReadString('\n')
+			if err != nil {
+				t.Fatalf("SSE read: %v (got %q)", err, sb.String())
+			}
+			if line == "\n" {
+				return sb.String()
+			}
+			sb.WriteString(line)
+		}
+	}
+	if ev := readEvent(); !strings.Contains(ev, "before") {
+		t.Fatalf("backlog event missing: %q", ev)
+	}
+	// A line written AFTER the subscription must arrive live.
+	if _, err := fmt.Fprintf(hub, `{"seq":1,"ev":"log","msg":"after"}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	if ev := readEvent(); !strings.Contains(ev, "after") {
+		t.Fatalf("live event missing: %q", ev)
+	}
+	hub.Close()
+	if ev := readEvent(); !strings.Contains(ev, "event: eof") {
+		t.Fatalf("eof event missing: %q", ev)
+	}
+}

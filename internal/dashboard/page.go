@@ -1,0 +1,337 @@
+package dashboard
+
+// pageHTML is the entire dashboard UI: no external assets, no frameworks —
+// the page must render from a placer running on an air-gapped box. The
+// server substitutes {{TITLE}} (header text, HTML-escaped) and {{DIFF}}
+// (a JSON string literal holding the optional A/B diff report).
+//
+// The JS consumes the same JSONL events as cmd/tracereport:
+//   - "snap" events build the convergence charts (one chart per series
+//     field: HPWL, overflow, λ, γ, …)
+//   - "span_start"/"span_end" rebuild the span tree for the stage-timing
+//     flamegraph
+//   - "grid" events drive the congestion heatmap animation (frames are
+//     fetched as PNG from /heatmap, rendered server-side by the same
+//     renderer as cmd/plot)
+//   - "log" events whose message starts with "guard:" become event markers
+//     on the charts; other logs fill the log panel
+//   - "metric" events fill the metrics table; the route-cache hit-rate is
+//     derived from route.decompose_cache_hits / (hits + route.dirty_nets)
+const pageHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>placer dashboard</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 0; background: #14171c; color: #d8dce3; }
+  h1 { font-size: 16px; margin: 0; font-weight: 600; }
+  h2 { font-size: 13px; margin: 0 0 6px; color: #9aa3b0; font-weight: 600; text-transform: uppercase; letter-spacing: .05em; }
+  header { display: flex; align-items: baseline; gap: 16px; padding: 10px 16px; background: #1b1f26; border-bottom: 1px solid #2a303a; }
+  #status { color: #9aa3b0; }
+  #status.live::before { content: "●"; color: #4cc38a; margin-right: 5px; }
+  #status.done::before { content: "●"; color: #9aa3b0; margin-right: 5px; }
+  main { display: grid; grid-template-columns: 1fr 1fr; gap: 14px; padding: 14px 16px; }
+  section { background: #1b1f26; border: 1px solid #2a303a; border-radius: 6px; padding: 10px 12px; }
+  .wide { grid-column: 1 / -1; }
+  canvas.chart { width: 100%; height: 110px; display: block; }
+  .chartrow { margin-bottom: 8px; }
+  .chartrow .lbl { color: #9aa3b0; font-size: 11px; display: flex; justify-content: space-between; }
+  #flame div { position: relative; height: 16px; margin: 1px 0; }
+  #flame span { position: absolute; top: 0; bottom: 0; overflow: hidden; white-space: nowrap;
+                font-size: 11px; padding: 1px 4px; box-sizing: border-box; border-radius: 2px;
+                background: #31518a; color: #cfe0ff; }
+  table { border-collapse: collapse; width: 100%; }
+  td, th { text-align: left; padding: 1px 10px 1px 0; font-variant-numeric: tabular-nums; }
+  th { color: #9aa3b0; font-weight: 500; }
+  td.num { text-align: right; }
+  #heatimg { image-rendering: pixelated; width: 100%; max-width: 512px; border: 1px solid #2a303a; }
+  #logs, #diff { white-space: pre-wrap; font: 11px/1.5 ui-monospace, monospace; max-height: 220px;
+                 overflow-y: auto; color: #aeb6c2; }
+  .guard { color: #e5a13c; }
+  input[type=range] { width: 60%; vertical-align: middle; }
+  button { background: #2a303a; color: #d8dce3; border: 1px solid #3a4250; border-radius: 4px;
+           padding: 2px 10px; cursor: pointer; }
+</style>
+</head>
+<body>
+<header>
+  <h1>{{TITLE}}</h1>
+  <span id="status" class="live">connecting…</span>
+  <span id="dropinfo"></span>
+</header>
+<main>
+  <section class="wide"><h2>Convergence</h2><div id="charts"></div></section>
+  <section><h2>Congestion heatmap</h2>
+    <img id="heatimg" alt="no congestion frames yet">
+    <div>
+      <input type="range" id="heatslider" min="0" max="0" value="0">
+      <button id="heatplay">▶</button>
+      <span id="heatlabel"></span>
+    </div>
+  </section>
+  <section><h2>Stage timing</h2><div id="flame"></div></section>
+  <section><h2>Metrics</h2><div id="metrics"></div></section>
+  <section><h2>Log <span id="guardcount"></span></h2><div id="logs"></div></section>
+  <section class="wide" id="diffsec" hidden><h2>Trace diff (A/B)</h2><div id="diff"></div></section>
+</main>
+<script>
+"use strict";
+const diffText = {{DIFF}};
+if (diffText) {
+  document.getElementById("diffsec").hidden = false;
+  document.getElementById("diff").textContent = diffText;
+}
+
+// ---- state rebuilt from the event stream -------------------------------
+const series = new Map();   // name -> Map(field -> [values])
+const markers = [];         // {idx per-series index?, msg} guard events
+const gridIters = [];       // iteration numbers that have heatmap frames
+const spans = new Map();    // id -> {name, parent, depth, start, dur}
+const spanOrder = [];
+const metrics = new Map();  // name -> metric event
+let eventCount = 0, logLines = 0, guardEvents = 0;
+
+function onEvent(ev) {
+  eventCount++;
+  switch (ev.ev) {
+    case "snap": {
+      let s = series.get(ev.name);
+      if (!s) { s = new Map(); series.set(ev.name, s); }
+      for (const [k, v] of Object.entries(ev.f || {})) {
+        let a = s.get(k);
+        if (!a) { a = []; s.set(k, a); }
+        a.push(v);
+      }
+      break;
+    }
+    case "grid":
+      if (ev.name === "congestion") gridIters.push(ev.iter);
+      break;
+    case "span_start": {
+      const parent = spans.get(ev.parent);
+      const sp = { name: ev.name, depth: parent ? parent.depth + 1 : 0, seq: ev.seq, dur: 0 };
+      spans.set(ev.span, sp);
+      spanOrder.push(sp);
+      break;
+    }
+    case "span_end": {
+      const sp = spans.get(ev.span);
+      if (sp) sp.dur = ev.dur_us || 0;
+      break;
+    }
+    case "metric":
+      metrics.set(ev.name, ev);
+      break;
+    case "log":
+    case "timing": {
+      logLines++;
+      const isGuard = (ev.msg || "").startsWith("guard:");
+      if (isGuard) {
+        guardEvents++;
+        // Anchor the marker to the current route-iteration index so the
+        // charts can draw a vertical line where the guard fired.
+        const ri = series.get("route_iter");
+        markers.push({ at: ri ? riLen(ri) : 0, msg: ev.msg });
+      }
+      appendLog(ev.msg, isGuard);
+      break;
+    }
+  }
+}
+function riLen(s) { for (const a of s.values()) return a.length; return 0; }
+
+// ---- rendering ---------------------------------------------------------
+let dirty = false;
+function scheduleRender() {
+  if (dirty) return;
+  dirty = true;
+  requestAnimationFrame(() => { dirty = false; render(); });
+}
+
+function render() {
+  renderCharts();
+  renderFlame();
+  renderMetrics();
+  renderHeatControls();
+  document.getElementById("guardcount").textContent =
+    guardEvents ? "(" + guardEvents + " guard events)" : "";
+}
+
+const chartDivs = new Map(); // "series/field" -> {canvas, last}
+function renderCharts() {
+  const host = document.getElementById("charts");
+  for (const [name, fields] of series) {
+    for (const [field, vals] of fields) {
+      const key = name + "/" + field;
+      let c = chartDivs.get(key);
+      if (!c) {
+        const row = document.createElement("div");
+        row.className = "chartrow";
+        const lbl = document.createElement("div");
+        lbl.className = "lbl";
+        const left = document.createElement("span");
+        left.textContent = key;
+        const right = document.createElement("span");
+        lbl.append(left, right);
+        const canvas = document.createElement("canvas");
+        canvas.className = "chart";
+        row.append(lbl, canvas);
+        host.append(row);
+        c = { canvas, right };
+        chartDivs.set(key, c);
+      }
+      c.right.textContent = "last " + fmtNum(vals[vals.length - 1]) + " · n=" + vals.length;
+      drawLine(c.canvas, vals, name === "route_iter" ? markers : []);
+    }
+  }
+}
+
+function drawLine(canvas, vals, marks) {
+  const w = canvas.clientWidth || 600, h = canvas.clientHeight || 110;
+  if (canvas.width !== w) canvas.width = w;
+  if (canvas.height !== h) canvas.height = h;
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, w, h);
+  if (!vals.length) return;
+  let mn = Math.min(...vals), mx = Math.max(...vals);
+  if (mx === mn) { mx = mn + 1; }
+  const X = i => vals.length > 1 ? i / (vals.length - 1) * (w - 8) + 4 : w / 2;
+  const Y = v => h - 6 - (v - mn) / (mx - mn) * (h - 12);
+  for (const m of marks) {
+    ctx.strokeStyle = "#e5a13c55";
+    ctx.beginPath();
+    ctx.moveTo(X(Math.min(m.at, vals.length - 1)), 2);
+    ctx.lineTo(X(Math.min(m.at, vals.length - 1)), h - 2);
+    ctx.stroke();
+  }
+  ctx.strokeStyle = "#5b8dd9";
+  ctx.lineWidth = 1.5;
+  ctx.beginPath();
+  vals.forEach((v, i) => i ? ctx.lineTo(X(i), Y(v)) : ctx.moveTo(X(i), Y(v)));
+  ctx.stroke();
+}
+
+function renderFlame() {
+  const host = document.getElementById("flame");
+  host.textContent = "";
+  const total = spanOrder.length ? Math.max(...spanOrder.map(s => s.dur)) : 0;
+  if (!total) return;
+  // One bar per span, indented by depth, width ∝ duration of the run root.
+  for (const sp of spanOrder.slice(0, 200)) {
+    const row = document.createElement("div");
+    const bar = document.createElement("span");
+    const frac = sp.dur / total;
+    bar.style.left = (sp.depth * 3) + "%";
+    bar.style.width = Math.max(frac * (100 - sp.depth * 3), 0.5) + "%";
+    bar.style.background = ["#31518a", "#3a6a4f", "#7a5a34", "#6a3a5a"][sp.depth % 4];
+    bar.textContent = sp.name + " " + fmtDur(sp.dur);
+    bar.title = sp.name + " — " + fmtDur(sp.dur);
+    row.append(bar);
+    host.append(row);
+  }
+}
+
+function renderMetrics() {
+  const host = document.getElementById("metrics");
+  const rows = [];
+  const hits = num("route.decompose_cache_hits"), dirtyN = num("route.dirty_nets");
+  if (hits + dirtyN > 0) {
+    rows.push(["route cache hit-rate", (100 * hits / (hits + dirtyN)).toFixed(1) + "%"]);
+  }
+  const names = [...metrics.keys()].sort();
+  for (const name of names) {
+    const m = metrics.get(name);
+    let v = fmtNum(m.value);
+    if (m.kind === "histogram" && m.count > 0) {
+      v += "  (n=" + m.count + ", p50=" + fmtNum(m.p50) + ", p95=" + fmtNum(m.p95) +
+           ", p99=" + fmtNum(m.p99) + ")";
+    }
+    rows.push([name + (m.volatile ? " *" : ""), v]);
+  }
+  host.textContent = "";
+  const tbl = document.createElement("table");
+  for (const [k, v] of rows) {
+    const tr = document.createElement("tr");
+    const td1 = document.createElement("td"), td2 = document.createElement("td");
+    td1.textContent = k; td2.textContent = v; td2.className = "num";
+    tr.append(td1, td2); tbl.append(tr);
+  }
+  host.append(tbl);
+}
+function num(name) { const m = metrics.get(name); return m ? m.value : 0; }
+
+// Heatmap animation: frames are PNGs served by /heatmap?iter=K.
+const slider = document.getElementById("heatslider");
+const heatimg = document.getElementById("heatimg");
+const heatlabel = document.getElementById("heatlabel");
+let heatPinned = false, playing = null;
+slider.addEventListener("input", () => { heatPinned = true; showFrame(+slider.value); });
+document.getElementById("heatplay").addEventListener("click", () => {
+  if (playing) { clearInterval(playing); playing = null; return; }
+  let i = 0;
+  heatPinned = true;
+  playing = setInterval(() => {
+    if (!gridIters.length) return;
+    showFrame(i % gridIters.length);
+    slider.value = i % gridIters.length;
+    i++;
+  }, 400);
+});
+function renderHeatControls() {
+  if (!gridIters.length) return;
+  slider.max = gridIters.length - 1;
+  if (!heatPinned) {
+    slider.value = gridIters.length - 1;
+    showFrame(gridIters.length - 1);
+  }
+}
+function showFrame(idx) {
+  if (idx < 0 || idx >= gridIters.length) return;
+  const it = gridIters[idx];
+  heatimg.src = "/heatmap?iter=" + it + "&t=" + eventCount; // bust cache while live
+  heatlabel.textContent = "route iter " + it + " (" + (idx + 1) + "/" + gridIters.length + ")";
+}
+
+const logHost = document.getElementById("logs");
+function appendLog(msg, isGuard) {
+  const line = document.createElement("div");
+  line.textContent = msg;
+  if (isGuard) line.className = "guard";
+  logHost.append(line);
+  while (logHost.childElementCount > 500) logHost.firstElementChild.remove();
+  logHost.scrollTop = logHost.scrollHeight;
+}
+
+function fmtNum(v) {
+  if (v === null || v === undefined) return "—";
+  if (v !== 0 && (Math.abs(v) >= 1e6 || Math.abs(v) < 1e-3)) return v.toExponential(3);
+  return +v.toFixed(4) + "";
+}
+function fmtDur(us) {
+  if (us >= 1e6) return (us / 1e6).toFixed(2) + "s";
+  if (us >= 1e3) return (us / 1e3).toFixed(1) + "ms";
+  return us + "µs";
+}
+
+// ---- SSE wiring --------------------------------------------------------
+const status = document.getElementById("status");
+const es = new EventSource("/events");
+es.onopen = () => { status.textContent = "live"; status.className = "live"; };
+es.onmessage = e => {
+  try { onEvent(JSON.parse(e.data)); } catch (err) { /* skip malformed */ }
+  scheduleRender();
+};
+es.addEventListener("eof", () => {
+  status.textContent = "run complete — " + eventCount + " events";
+  status.className = "done";
+  es.close();
+  scheduleRender();
+});
+es.onerror = () => {
+  if (es.readyState === EventSource.CLOSED) return;
+  status.textContent = "reconnecting…";
+};
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,58 @@
+package plot
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// HeatmapImage rasterizes an nx×ny row-major congestion grid into an RGBA
+// image at cellPx pixels per G-cell (≤ 0 selects 8), max-normalized through
+// HeatColor. Row 0 of the grid is the BOTTOM of the image (die-y grows
+// upward), matching the SVG underlay orientation. This is the one
+// congestion-grid→image renderer shared by cmd/plot and the dashboard.
+func HeatmapImage(vals []float64, nx, ny, cellPx int) (*image.RGBA, error) {
+	if nx <= 0 || ny <= 0 || len(vals) != nx*ny {
+		return nil, fmt.Errorf("plot: congestion map length %d != %d×%d", len(vals), nx, ny)
+	}
+	if cellPx <= 0 {
+		cellPx = 8
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, nx*cellPx, ny*cellPx))
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			t := 0.0
+			if max > 0 {
+				t = vals[iy*nx+ix] / max
+			}
+			r, g, b := HeatColor(t)
+			c := color.RGBA{R: uint8(r), G: uint8(g), B: uint8(b), A: 255}
+			// Flip y: grid row 0 renders at the image bottom.
+			py0 := (ny - 1 - iy) * cellPx
+			px0 := ix * cellPx
+			for py := py0; py < py0+cellPx; py++ {
+				for px := px0; px < px0+cellPx; px++ {
+					img.SetRGBA(px, py, c)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// WriteHeatmapPNG renders the grid via HeatmapImage and PNG-encodes it to w.
+func WriteHeatmapPNG(w io.Writer, vals []float64, nx, ny, cellPx int) error {
+	img, err := HeatmapImage(vals, nx, ny, cellPx)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}

@@ -1,0 +1,60 @@
+package plot
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestHeatmapImage(t *testing.T) {
+	// 2×2 grid: hottest cell bottom-left (row 0, col 0).
+	vals := []float64{1.0, 0.0, 0.25, 0.5}
+	img, err := HeatmapImage(vals, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Bounds(); got.Dx() != 8 || got.Dy() != 8 {
+		t.Fatalf("image bounds %v, want 8×8", got)
+	}
+	// Grid row 0 renders at the image BOTTOM: the hottest cell (t=1,
+	// green=0) must be bottom-left, and the zero cell (t=0, green=220)
+	// bottom-right.
+	_, gHot, _, _ := img.At(0, 7).RGBA()
+	_, gZero, _, _ := img.At(7, 7).RGBA()
+	if gHot>>8 != 0 {
+		t.Errorf("hottest cell green = %d, want 0", gHot>>8)
+	}
+	if gZero>>8 != 220 {
+		t.Errorf("cold cell green = %d, want 220", gZero>>8)
+	}
+	// Bad dimensions are rejected.
+	if _, err := HeatmapImage(vals, 3, 3, 4); err == nil {
+		t.Error("bad grid dimensions accepted")
+	}
+}
+
+func TestHeatmapImageAllZero(t *testing.T) {
+	img, err := HeatmapImage([]float64{0, 0, 0, 0}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g, _, _ := img.At(0, 0).RGBA()
+	if g>>8 != 220 {
+		t.Errorf("all-zero grid not rendered cold: green = %d", g>>8)
+	}
+}
+
+func TestWriteHeatmapPNG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeatmapPNG(&buf, []float64{0.1, 0.9, 0.4, 0.2}, 2, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("output is not a valid PNG: %v", err)
+	}
+	// Default cell size is 8 px.
+	if b := img.Bounds(); b.Dx() != 16 || b.Dy() != 16 {
+		t.Errorf("PNG bounds %v, want 16×16", b)
+	}
+}

@@ -67,7 +67,7 @@ func SVG(w io.Writer, d *netlist.Design, opt Options) error {
 						continue
 					}
 					t := c / maxC
-					r, g, b := heat(t)
+					r, g, b := HeatColor(t)
 					x0 := d.Die.Lo.X + float64(ix)*cw
 					y0 := d.Die.Lo.Y + float64(iy)*ch
 					fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" fill-opacity="0.85"/>`+"\n",
@@ -113,8 +113,9 @@ func SVG(w io.Writer, d *netlist.Design, opt Options) error {
 	return bw.Flush()
 }
 
-// heat maps t ∈ [0,1] to a yellow→red ramp.
-func heat(t float64) (r, g, b int) {
+// HeatColor maps t ∈ [0,1] to the yellow→red congestion ramp shared by the
+// SVG underlay, cmd/plot and the dashboard heatmap.
+func HeatColor(t float64) (r, g, b int) {
 	if t < 0 {
 		t = 0
 	}

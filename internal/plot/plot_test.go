@@ -65,8 +65,8 @@ func TestSVGSelectedRailsOnly(t *testing.T) {
 }
 
 func TestHeatRamp(t *testing.T) {
-	r0, g0, _ := heat(0)
-	r1, g1, _ := heat(1)
+	r0, g0, _ := HeatColor(0)
+	r1, g1, _ := HeatColor(1)
 	if r0 != 255 || r1 != 255 {
 		t.Errorf("red channel should stay saturated")
 	}
@@ -74,10 +74,10 @@ func TestHeatRamp(t *testing.T) {
 		t.Errorf("green channel should fall with heat: %d → %d", g0, g1)
 	}
 	// Clamping.
-	if ra, ga, ba := heat(-5); ra != 255 || ga != 220 || ba != 40 {
-		t.Errorf("heat(-5) not clamped: %d %d %d", ra, ga, ba)
+	if ra, ga, ba := HeatColor(-5); ra != 255 || ga != 220 || ba != 40 {
+		t.Errorf("HeatColor(-5) not clamped: %d %d %d", ra, ga, ba)
 	}
-	if _, gb, _ := heat(7); gb != 0 {
-		t.Errorf("heat(7) not clamped")
+	if _, gb, _ := HeatColor(7); gb != 0 {
+		t.Errorf("HeatColor(7) not clamped")
 	}
 }

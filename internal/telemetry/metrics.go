@@ -61,13 +61,20 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// histBuckets spans value decades 1e-12 … 1e12; values outside clamp to
-// the edge buckets. Bucket k counts observations with
-// 10^(k-12) <= v < 10^(k-11).
-const histBuckets = 25
+// Histogram buckets are log-spaced: histSub sub-buckets per decade across
+// the decades 1e-12 … 1e12, plus bucket 0 collecting v ≤ 1e-12 (including
+// zero). Values above the top decade clamp to the last bucket. The
+// resolution bounds the percentile-estimation error to one sub-bucket —
+// a factor of 10^(1/histSub) ≈ 1.33.
+const (
+	histSub     = 8
+	histDecades = 24
+	histBuckets = histSub*histDecades + 1
+)
 
 // Histogram summarizes a stream of non-negative observations with count,
-// sum, min, max and a fixed decade-bucket distribution. A nil *Histogram
+// sum, min, max, a fixed log-bucket distribution and bucket-interpolated
+// quantiles (Quantile; p50/p95/p99 in Registry.Snapshot). A nil *Histogram
 // is inert.
 type Histogram struct {
 	mu      sync.Mutex
@@ -97,17 +104,75 @@ func (h *Histogram) Observe(v float64) {
 }
 
 func bucketOf(v float64) int {
-	if v <= 0 {
+	if v <= 1e-12 {
 		return 0
 	}
-	k := int(math.Floor(math.Log10(v))) + 12
-	if k < 0 {
-		k = 0
+	k := 1 + int(math.Floor(float64(histSub)*(math.Log10(v)+float64(histDecades/2))))
+	if k < 1 {
+		k = 1
 	}
 	if k >= histBuckets {
 		k = histBuckets - 1
 	}
 	return k
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket k ≥ 1.
+func bucketBounds(k int) (lo, hi float64) {
+	e := float64(k-1)/histSub - float64(histDecades/2)
+	return math.Pow(10, e), math.Pow(10, e+1.0/histSub)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed stream
+// from the bucket distribution, log-interpolated within the containing
+// bucket and clamped to the observed [min, max]. It is a deterministic
+// pure function of the observations, so percentile summaries belong in
+// the canonical trace. Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count-1) // rank in [0, count-1]
+	cum := int64(0)
+	for k, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		// The target rank lies in this bucket iff it is below the bucket's
+		// cumulative count; then frac = (target-cum)/c is in [0, 1).
+		if float64(cum+c) > target {
+			v := h.min
+			if k > 0 {
+				lo, hi := bucketBounds(k)
+				frac := (target - float64(cum)) / float64(c)
+				v = lo * math.Pow(hi/lo, frac)
+			}
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.max
 }
 
 // Metric is one exported metric point. Kind is "counter", "gauge" or
@@ -124,6 +189,9 @@ type Metric struct {
 	Sum      float64 `json:"sum,omitempty"`   // histogram only
 	Min      float64 `json:"min,omitempty"`   // histogram only
 	Max      float64 `json:"max,omitempty"`   // histogram only
+	P50      float64 `json:"p50,omitempty"`   // histogram only (bucket-interpolated)
+	P95      float64 `json:"p95,omitempty"`   // histogram only
+	P99      float64 `json:"p99,omitempty"`   // histogram only
 	Volatile bool    `json:"volatile,omitempty"`
 }
 
@@ -210,10 +278,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot exports every metric sorted by (kind, name) — a deterministic
-// order for JSON emission and run-to-run comparison. Gauges that were
-// never Set and zero-count histograms are still included so the metric
-// NAME set is deterministic too.
+// Snapshot exports every metric sorted by (volatile, kind, name) — a
+// deterministic order for JSON emission and run-to-run comparison. Gauges
+// that were never Set and zero-count histograms are still included so the
+// metric NAME set is deterministic too. Volatile metrics sort after every
+// deterministic one: their presence may differ between configurations
+// (e.g. the streaming drop counter exists only with a dashboard attached),
+// and emitting them last keeps the seq numbers of all canonical events
+// identical across such configurations.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
@@ -234,11 +306,17 @@ func (r *Registry) Snapshot() []Metric {
 			Sum: h.sum, Min: h.min, Max: h.max}
 		if h.count > 0 {
 			m.Value = h.sum / float64(h.count)
+			m.P50 = h.quantileLocked(0.50)
+			m.P95 = h.quantileLocked(0.95)
+			m.P99 = h.quantileLocked(0.99)
 		}
 		h.mu.Unlock()
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if out[i].Volatile != out[j].Volatile {
+			return !out[i].Volatile
+		}
 		if out[i].Kind != out[j].Kind {
 			return out[i].Kind < out[j].Kind
 		}

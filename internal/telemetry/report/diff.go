@@ -1,0 +1,228 @@
+package report
+
+// Trace diffing: compare two parsed traces (two runs, two configurations,
+// before/after a change) and separate DETERMINISTIC drift — different
+// metric values, different iteration counts, different stage invocation
+// counts, different final snapshot values — from wall-clock drift (stage
+// durations), which two runs of even the same binary never reproduce.
+// `tracereport -diff` exits non-zero exactly when deterministic drift
+// exists, so two identical-seed runs diff clean; the dashboard's A/B view
+// renders the same report.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// StageDelta compares one span name across two traces. Count is part of
+// the determinism contract (the same run executes the same spans); Total
+// is wall-clock and informational only.
+type StageDelta struct {
+	Name           string
+	CountA, CountB int
+	TotalA, TotalB time.Duration
+}
+
+// MetricDelta compares the final value of one metric. Volatile metrics
+// (speedups, worker counts) are expected to differ between runs and never
+// count as deterministic drift.
+type MetricDelta struct {
+	Name     string
+	Kind     string
+	A, B     float64
+	InA, InB bool
+	Volatile bool
+}
+
+// FieldDelta compares the final value of one snapshot-series field.
+type FieldDelta struct {
+	Key  string
+	A, B float64
+}
+
+// SeriesDelta compares one snapshot series: its length (iteration-count
+// drift) and the final value of every field.
+type SeriesDelta struct {
+	Name       string
+	LenA, LenB int
+	Fields     []FieldDelta
+}
+
+// Diff is the structured comparison of two traces.
+type Diff struct {
+	EventsA, EventsB int
+	Stages           []StageDelta
+	Metrics          []MetricDelta
+	Series           []SeriesDelta
+}
+
+// Compare diffs two parsed traces. Ordering follows trace A's first-seen
+// order with B-only entries appended, so reports are stable.
+func Compare(a, b *Trace) *Diff {
+	d := &Diff{EventsA: len(a.Events), EventsB: len(b.Events)}
+
+	// Stages: union keyed by name.
+	stageIdx := map[string]int{}
+	for _, s := range a.Stages {
+		stageIdx[s.Name] = len(d.Stages)
+		d.Stages = append(d.Stages, StageDelta{Name: s.Name, CountA: s.Count, TotalA: s.Total})
+	}
+	for _, s := range b.Stages {
+		i, ok := stageIdx[s.Name]
+		if !ok {
+			i = len(d.Stages)
+			stageIdx[s.Name] = i
+			d.Stages = append(d.Stages, StageDelta{Name: s.Name})
+		}
+		d.Stages[i].CountB = s.Count
+		d.Stages[i].TotalB = s.Total
+	}
+
+	// Metrics: final dump per name.
+	finalA, finalB := a.FinalMetrics(), b.FinalMetrics()
+	names := make([]string, 0, len(finalA)+len(finalB))
+	seen := map[string]bool{}
+	for _, m := range a.Metrics {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			names = append(names, m.Name)
+		}
+	}
+	for _, m := range b.Metrics {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			names = append(names, m.Name)
+		}
+	}
+	for _, name := range names {
+		ma, inA := finalA[name]
+		mb, inB := finalB[name]
+		md := MetricDelta{Name: name, InA: inA, InB: inB}
+		if inA {
+			md.Kind, md.A = ma.Kind, ma.Value
+			md.Volatile = ma.Volatile
+		}
+		if inB {
+			md.Kind, md.B = mb.Kind, mb.Value
+			md.Volatile = md.Volatile || mb.Volatile
+		}
+		d.Metrics = append(d.Metrics, md)
+	}
+
+	// Snapshot series: lengths and final field values.
+	seriesNames := append([]string(nil), a.SnapNames...)
+	for _, n := range b.SnapNames {
+		if _, ok := a.Snaps[n]; !ok {
+			seriesNames = append(seriesNames, n)
+		}
+	}
+	for _, name := range seriesNames {
+		ea, eb := a.Snaps[name], b.Snaps[name]
+		sd := SeriesDelta{Name: name, LenA: len(ea), LenB: len(eb)}
+		keys := map[string]bool{}
+		if len(ea) > 0 {
+			for k := range ea[len(ea)-1].F {
+				keys[k] = true
+			}
+		}
+		if len(eb) > 0 {
+			for k := range eb[len(eb)-1].F {
+				keys[k] = true
+			}
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			var va, vb float64
+			if len(ea) > 0 {
+				va = ea[len(ea)-1].F[k]
+			}
+			if len(eb) > 0 {
+				vb = eb[len(eb)-1].F[k]
+			}
+			sd.Fields = append(sd.Fields, FieldDelta{Key: k, A: va, B: vb})
+		}
+		d.Series = append(d.Series, sd)
+	}
+	return d
+}
+
+// drifted reports a meaningful difference between two final values (exact
+// inequality — the traces are deterministic, so any difference is real).
+func drifted(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return false
+	}
+	return a != b
+}
+
+// DeterministicDrift returns every deterministic finding: non-volatile
+// metric deltas, iteration-count drift, final-snapshot-value drift, and
+// stage invocation-count drift. Empty for two runs of the same
+// deterministic placement.
+func (d *Diff) DeterministicDrift() []string {
+	var out []string
+	for _, s := range d.Stages {
+		if s.CountA != s.CountB {
+			out = append(out, fmt.Sprintf("stage %s: count %d → %d", s.Name, s.CountA, s.CountB))
+		}
+	}
+	for _, m := range d.Metrics {
+		if m.Volatile {
+			continue
+		}
+		switch {
+		case m.InA && !m.InB:
+			out = append(out, fmt.Sprintf("metric %s: only in A (%s)", m.Name, fmtVal(m.A)))
+		case !m.InA && m.InB:
+			out = append(out, fmt.Sprintf("metric %s: only in B (%s)", m.Name, fmtVal(m.B)))
+		case drifted(m.A, m.B):
+			out = append(out, fmt.Sprintf("metric %s: %s → %s (Δ %s)",
+				m.Name, fmtVal(m.A), fmtVal(m.B), fmtVal(m.B-m.A)))
+		}
+	}
+	for _, s := range d.Series {
+		if s.LenA != s.LenB {
+			out = append(out, fmt.Sprintf("series %s: %d → %d iterations", s.Name, s.LenA, s.LenB))
+		}
+		for _, f := range s.Fields {
+			if drifted(f.A, f.B) {
+				out = append(out, fmt.Sprintf("series %s final %s: %s → %s (Δ %s)",
+					s.Name, f.Key, fmtVal(f.A), fmtVal(f.B), fmtVal(f.B-f.A)))
+			}
+		}
+	}
+	return out
+}
+
+// WriteReport renders the diff: the deterministic findings first (or an
+// explicit NONE), then the wall-clock per-stage timing comparison.
+func (d *Diff) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "trace diff: A %d events, B %d events\n\n", d.EventsA, d.EventsB)
+	drift := d.DeterministicDrift()
+	if len(drift) == 0 {
+		fmt.Fprintf(w, "Deterministic drift: NONE\n")
+	} else {
+		fmt.Fprintf(w, "Deterministic drift: %d findings\n", len(drift))
+		for _, line := range drift {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+
+	fmt.Fprintf(w, "\nPer-stage timing (wall-clock, informational)\n")
+	fmt.Fprintf(w, "  %-34s %12s %12s %8s\n", "stage", "A total", "B total", "Δ%")
+	for _, s := range d.Stages {
+		pct := 0.0
+		if s.TotalA > 0 {
+			pct = 100 * (float64(s.TotalB) - float64(s.TotalA)) / float64(s.TotalA)
+		}
+		fmt.Fprintf(w, "  %-34s %12s %12s %+7.1f%%\n",
+			s.Name, fmtDur(s.TotalA), fmtDur(s.TotalB), pct)
+	}
+}

@@ -1,4 +1,12 @@
-package telemetry
+// Package report is the trace-analytics library over the JSONL telemetry
+// stream of internal/telemetry: parsing, per-stage/per-series aggregation,
+// the human-readable summary used by cmd/tracereport, and trace diffing
+// (diff.go) used by `tracereport -diff` and the dashboard's A/B view.
+//
+// Parsing is tolerant: a malformed line is recorded with its line number
+// in Trace.Malformed and skipped, so one corrupt line (a crashed run, a
+// truncated write) never hides the rest of the report.
+package report
 
 import (
 	"bufio"
@@ -9,10 +17,12 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Event is one decoded JSONL trace line. Fields are populated per kind
-// (see the package comment for the schema).
+// (see the telemetry package comment for the schema).
 type Event struct {
 	Seq    int64              `json:"seq"`
 	Ev     string             `json:"ev"`
@@ -29,10 +39,32 @@ type Event struct {
 	Sum    float64            `json:"sum,omitempty"`
 	Min    float64            `json:"min,omitempty"`
 	Max    float64            `json:"max,omitempty"`
+	P50    float64            `json:"p50,omitempty"`
+	P95    float64            `json:"p95,omitempty"`
+	P99    float64            `json:"p99,omitempty"`
+	// NX, NY and Data carry "grid" events (quantized 2-D field snapshots;
+	// Max doubles as the dequantization scale — decode with
+	// telemetry.DecodeGridValues(Data, Max)).
+	NX   int    `json:"nx,omitempty"`
+	NY   int    `json:"ny,omitempty"`
+	Data string `json:"data,omitempty"`
 	// Volatile marks metric events excluded from the determinism
 	// contract (speedups, worker counts); the report surfaces them with
 	// a marker instead of dropping them.
 	Volatile bool `json:"volatile,omitempty"`
+}
+
+// ParseEvent decodes one JSONL trace line.
+func ParseEvent(line []byte) (Event, error) {
+	var ev Event
+	err := json.Unmarshal(line, &ev)
+	return ev, err
+}
+
+// MalformedLine records one trace line that failed to parse.
+type MalformedLine struct {
+	Line int // 1-based line number in the input stream
+	Err  error
 }
 
 // Trace is a fully parsed trace file.
@@ -40,20 +72,28 @@ type Trace struct {
 	Events []Event
 	// Stages aggregates span durations by name in first-seen order, with
 	// tree depth, rebuilt from the span_start/span_end events.
-	Stages []StageTiming
+	Stages []telemetry.StageTiming
 	// SnapNames lists snapshot series names in first-seen order.
 	SnapNames []string
 	// Snaps holds the snapshot events of each series in stream order.
 	Snaps map[string][]Event
+	// GridNames lists grid series names in first-seen order; Grids holds
+	// each series' events in stream order.
+	GridNames []string
+	Grids     map[string][]Event
 	// Metrics holds the trailing metric dump, in stream order.
 	Metrics []Event
 	// Logs counts log + timing events.
 	Logs int
+	// Malformed lists the skipped unparseable lines (file:line context is
+	// the caller's to add — ReadTrace only sees a stream).
+	Malformed []MalformedLine
 }
 
-// ReadTrace parses a JSONL trace stream.
+// ReadTrace parses a JSONL trace stream. Malformed lines are recorded in
+// Trace.Malformed and skipped; only an I/O-level error fails the parse.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	t := &Trace{Snaps: map[string][]Event{}}
+	t := &Trace{Snaps: map[string][]Event{}, Grids: map[string][]Event{}}
 	byKey := map[string]int{}
 	depthOf := map[int]int{} // span id -> depth
 	sc := bufio.NewScanner(r)
@@ -65,9 +105,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var ev Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		ev, err := ParseEvent(line)
+		if err != nil {
+			t.Malformed = append(t.Malformed, MalformedLine{Line: lineNo, Err: err})
+			continue
 		}
 		t.Events = append(t.Events, ev)
 		switch ev.Ev {
@@ -79,7 +120,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			depthOf[ev.Span] = depth
 			if _, ok := byKey[ev.Name]; !ok {
 				byKey[ev.Name] = len(t.Stages)
-				t.Stages = append(t.Stages, StageTiming{Name: ev.Name, Depth: depth})
+				t.Stages = append(t.Stages, telemetry.StageTiming{Name: ev.Name, Depth: depth})
 			}
 		case "span_end":
 			if i, ok := byKey[ev.Name]; ok {
@@ -91,6 +132,11 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				t.SnapNames = append(t.SnapNames, ev.Name)
 			}
 			t.Snaps[ev.Name] = append(t.Snaps[ev.Name], ev)
+		case "grid":
+			if _, ok := t.Grids[ev.Name]; !ok {
+				t.GridNames = append(t.GridNames, ev.Name)
+			}
+			t.Grids[ev.Name] = append(t.Grids[ev.Name], ev)
 		case "metric":
 			t.Metrics = append(t.Metrics, ev)
 		case "log", "timing":
@@ -98,7 +144,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+		return nil, fmt.Errorf("report: reading trace: %w", err)
 	}
 	return t, nil
 }
@@ -112,6 +158,16 @@ func (t *Trace) RootTotal() time.Duration {
 		}
 	}
 	return total
+}
+
+// FinalMetrics returns the last metric event per name (a resumed run's
+// concatenated trace can hold two dumps; the later one wins).
+func (t *Trace) FinalMetrics() map[string]Event {
+	out := make(map[string]Event, len(t.Metrics))
+	for _, m := range t.Metrics {
+		out[m.Name] = m
+	}
+	return out
 }
 
 // sparkLevels are the ASCII intensity steps of a sparkline, low to high.
@@ -165,11 +221,15 @@ func Sparkline(vals []float64, width int) string {
 
 // WriteReport renders the human-readable trace summary: the per-stage
 // timing table, convergence sparklines for every snapshot series, and
-// the final metrics dump.
+// the final metrics dump (histograms with p50/p95/p99).
 func (t *Trace) WriteReport(w io.Writer) {
 	root := t.RootTotal()
-	fmt.Fprintf(w, "trace: %d events, %d stages, %d snapshot series, %d log lines\n\n",
+	fmt.Fprintf(w, "trace: %d events, %d stages, %d snapshot series, %d log lines",
 		len(t.Events), len(t.Stages), len(t.SnapNames), t.Logs)
+	if n := len(t.Malformed); n > 0 {
+		fmt.Fprintf(w, ", %d malformed lines skipped", n)
+	}
+	fmt.Fprintf(w, "\n\n")
 
 	fmt.Fprintf(w, "Per-stage timing\n")
 	fmt.Fprintf(w, "  %-34s %7s %12s %12s %7s\n", "stage", "count", "total", "avg", "%root")
@@ -205,6 +265,13 @@ func (t *Trace) WriteReport(w io.Writer) {
 		}
 	}
 
+	for _, name := range t.GridNames {
+		events := t.Grids[name]
+		last := events[len(events)-1]
+		fmt.Fprintf(w, "\nGrid series: %s (%d frames, %dx%d, final max %s)\n",
+			name, len(events), last.NX, last.NY, fmtVal(last.Max))
+	}
+
 	if len(t.Metrics) > 0 {
 		fmt.Fprintf(w, "\nMetrics\n")
 		for _, m := range t.Metrics {
@@ -217,8 +284,10 @@ func (t *Trace) WriteReport(w io.Writer) {
 			}
 			switch m.Kind {
 			case "histogram":
-				fmt.Fprintf(w, "  %-34s %-9s n=%-7d mean=%-11s min=%-11s max=%s\n",
-					m.Name, kind, m.Count, fmtVal(m.Value), fmtVal(m.Min), fmtVal(m.Max))
+				fmt.Fprintf(w, "  %-34s %-9s n=%-7d mean=%-11s p50=%-11s p95=%-11s p99=%-11s min=%-11s max=%s\n",
+					m.Name, kind, m.Count, fmtVal(m.Value),
+					fmtVal(m.P50), fmtVal(m.P95), fmtVal(m.P99),
+					fmtVal(m.Min), fmtVal(m.Max))
 			default:
 				fmt.Fprintf(w, "  %-34s %-9s %s\n", m.Name, kind, fmtVal(m.Value))
 			}
@@ -275,42 +344,4 @@ func hasVolatile(ms []Event) bool {
 		}
 	}
 	return false
-}
-
-// StripTimings canonicalizes a JSONL trace for run-to-run comparison:
-// it removes the "dur_us" field from span_end events, drops "timing"
-// events entirely, and drops metric events flagged "volatile" (the only
-// wall-clock/environment content in a trace), re-encoding every remaining
-// event with sorted keys. Two runs of the same deterministic placement —
-// at ANY worker count — must produce byte-identical canonical traces.
-func StripTimings(trace []byte) ([]byte, error) {
-	var out bytes.Buffer
-	sc := bufio.NewScanner(bytes.NewReader(trace))
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var m map[string]any
-		if err := json.Unmarshal(line, &m); err != nil {
-			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
-		}
-		if m["ev"] == "timing" {
-			continue
-		}
-		if m["ev"] == "metric" && m["volatile"] == true {
-			continue
-		}
-		delete(m, "dur_us")
-		enc, err := json.Marshal(m) // map keys marshal sorted: canonical
-		if err != nil {
-			return nil, err
-		}
-		out.Write(enc)
-		out.WriteByte('\n')
-	}
-	return out.Bytes(), sc.Err()
 }

@@ -1,0 +1,157 @@
+package telemetry
+
+// Streaming fan-out for live observability. A Hub sits between an Observer
+// and its canonical JSONL sink: every event line is first written through to
+// the canonical sink byte-for-byte, then broadcast to any number of live
+// subscribers over bounded, non-blocking channels. The hard invariant is
+// that attaching a Hub (and any number of subscribers, however slow) never
+// changes the canonical trace: the pass-through is unconditional and
+// byte-identical, and a subscriber that cannot keep up loses events — it
+// never back-pressures the placement run. Dropped events are counted
+// (Hub.Dropped, per-Subscription Dropped) so the dashboard can surface the
+// loss; the count is wall-clock dependent and therefore belongs in a
+// volatile gauge ("telemetry.dropped_events"), never in the canonical trace.
+//
+// The Hub is goroutine-free: broadcasting happens inline on the writer's
+// goroutine under one mutex, so a placement run with a dashboard attached
+// spawns no extra goroutines and cannot leak any.
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Hub is a broadcast fan-out for one JSONL telemetry stream. It implements
+// io.Writer so it can be handed to NewObserver in place of the trace file;
+// it retains every line (the backlog) so late subscribers — a dashboard tab
+// opened mid-run, or a replay of a finished run — receive the full stream.
+type Hub struct {
+	canonical io.Writer // pass-through sink; nil = broadcast only
+	dropped   atomic.Int64
+
+	mu      sync.Mutex
+	subs    map[*Subscription]struct{}
+	backlog [][]byte
+	closed  bool
+}
+
+// NewHub creates a hub that passes every written line through to canonical
+// (nil for broadcast-only streaming) before broadcasting it.
+func NewHub(canonical io.Writer) *Hub {
+	return &Hub{canonical: canonical, subs: map[*Subscription]struct{}{}}
+}
+
+// Write implements io.Writer. The canonical sink is written FIRST and its
+// error returned verbatim, so trace durability and byte-identity never
+// depend on subscriber behaviour. The broadcast copies p (Observer reuses
+// its line buffer) and never blocks: a subscriber with a full channel
+// drops the event and the drop is counted.
+func (h *Hub) Write(p []byte) (int, error) {
+	if h.canonical != nil {
+		if n, err := h.canonical.Write(p); err != nil {
+			return n, err
+		}
+	}
+	line := make([]byte, len(p))
+	copy(line, p)
+	h.mu.Lock()
+	h.backlog = append(h.backlog, line)
+	for s := range h.subs {
+		select {
+		case s.ch <- line:
+		default:
+			s.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+	return len(p), nil
+}
+
+// Subscribe registers a live subscriber with the given channel capacity
+// (≤ 0 selects 256) and returns a snapshot of the backlog together with the
+// subscription. The snapshot and the channel are gap-free and overlap-free:
+// both are taken under the hub lock, so every line is in exactly one of
+// them. On a closed hub the returned channel is already closed — the
+// backlog is then the complete stream.
+func (h *Hub) Subscribe(buffer int) ([][]byte, *Subscription) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Subscription{h: h, ch: make(chan []byte, buffer)}
+	h.mu.Lock()
+	backlog := make([][]byte, len(h.backlog))
+	copy(backlog, h.backlog)
+	if h.closed {
+		close(s.ch)
+	} else {
+		h.subs[s] = struct{}{}
+	}
+	h.mu.Unlock()
+	return backlog, s
+}
+
+// Backlog returns a copy of every line written so far.
+func (h *Hub) Backlog() [][]byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([][]byte, len(h.backlog))
+	copy(out, h.backlog)
+	return out
+}
+
+// Dropped returns the total number of events dropped across all
+// subscribers since the hub was created. Wall-clock dependent content:
+// export it through a volatile gauge only.
+func (h *Hub) Dropped() int64 { return h.dropped.Load() }
+
+// Close ends the live stream: every subscriber channel is closed and
+// further writes broadcast to nobody (the canonical pass-through and the
+// backlog keep working, so closing the hub early never truncates the
+// trace). Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for s := range h.subs {
+			close(s.ch)
+			delete(h.subs, s)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Closed reports whether Close was called.
+func (h *Hub) Closed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Subscription is one live consumer of a Hub's stream.
+type Subscription struct {
+	h       *Hub
+	ch      chan []byte
+	dropped atomic.Int64
+}
+
+// C is the event channel. It is closed when the hub closes or the
+// subscription is closed; a receive that keeps up sees every line after
+// the Subscribe-time backlog.
+func (s *Subscription) C() <-chan []byte { return s.ch }
+
+// Dropped returns how many events THIS subscriber lost to a full channel.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close unsubscribes and closes the channel. Idempotent, and safe to call
+// concurrently with hub writes and Hub.Close.
+func (s *Subscription) Close() {
+	h := s.h
+	h.mu.Lock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+	h.mu.Unlock()
+}

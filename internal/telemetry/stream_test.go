@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestHubCanonicalPassThroughByteIdentical(t *testing.T) {
+	// The same workload written (a) straight to a buffer and (b) through a
+	// Hub with subscribers attached must produce byte-identical sinks.
+	run := func(wrap func(w *bytes.Buffer) io.Writer) []byte {
+		var buf bytes.Buffer
+		o := NewObserver(wrap(&buf))
+		sp := o.StartSpan("place")
+		o.Log("hello")
+		o.Snapshot("it", 0, F("x", 1.25))
+		o.Grid("congestion", 0, 2, 2, []float64{0.1, 0.2, 0.3, 0.4})
+		sp.End()
+		o.Counter("n").Inc()
+		if err := o.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := run(func(w *bytes.Buffer) io.Writer { return w })
+	var hub *Hub
+	streamed := run(func(w *bytes.Buffer) io.Writer {
+		hub = NewHub(w)
+		hub.Subscribe(1) // tiny buffer: guaranteed drops, must not matter
+		hub.Subscribe(1024)
+		return hub
+	})
+	ca, err := StripTimings(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := StripTimings(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("canonical traces differ with streaming attached:\n%s\nvs\n%s", ca, cb)
+	}
+	// The one-slot subscriber must have lost events (and the loss counted)
+	// without affecting anything above.
+	if hub.Dropped() == 0 {
+		t.Error("one-slot subscriber dropped nothing; drop accounting broken")
+	}
+	// Raw pass-through is byte-exact: fixed lines written through a hub
+	// reach the sink verbatim. (The runs above differ in raw bytes only by
+	// wall-clock span durations, which is exactly what StripTimings strips.)
+	var sink bytes.Buffer
+	h2 := NewHub(&sink)
+	h2.Subscribe(1)
+	h2.Write([]byte("x\n"))
+	h2.Write([]byte("y\n"))
+	if sink.String() != "x\ny\n" {
+		t.Errorf("pass-through sink = %q, want %q", sink.String(), "x\ny\n")
+	}
+}
+
+func TestHubSlowConsumerDropsAreCounted(t *testing.T) {
+	var sink bytes.Buffer
+	hub := NewHub(&sink)
+	_, slow := hub.Subscribe(1) // one-slot buffer, never drained
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(hub, "line %d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One line fits the buffer; the rest must be dropped, not block.
+	if got := slow.Dropped(); got != n-1 {
+		t.Errorf("subscription dropped = %d, want %d", got, n-1)
+	}
+	if got := hub.Dropped(); got != n-1 {
+		t.Errorf("hub dropped = %d, want %d", got, n-1)
+	}
+	// The canonical sink saw every line regardless.
+	if got := bytes.Count(sink.Bytes(), []byte("\n")); got != n {
+		t.Errorf("canonical sink has %d lines, want %d", got, n)
+	}
+	// Backlog retains everything for late subscribers.
+	backlog, late := hub.Subscribe(64)
+	if len(backlog) != n {
+		t.Errorf("late subscriber backlog has %d lines, want %d", len(backlog), n)
+	}
+	late.Close()
+	slow.Close()
+	slow.Close() // double-close is safe
+}
+
+func TestHubBacklogSubscribeGapFree(t *testing.T) {
+	var sink bytes.Buffer
+	hub := NewHub(&sink)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fmt.Fprintf(hub, "line %d\n", i)
+		}
+	}()
+	// Subscribe mid-stream: backlog + channel must cover every line with
+	// no gap and no duplicate (drops at the tail are allowed and counted).
+	backlog, sub := hub.Subscribe(1 << 16)
+	close(stop)
+	wg.Wait()
+	hub.Close()
+	seen := len(backlog)
+	for line := range sub.C() {
+		want := fmt.Sprintf("line %d\n", seen)
+		if string(line) != want {
+			t.Fatalf("gap or duplicate at position %d: got %q, want %q", seen, line, want)
+		}
+		seen++
+	}
+	if sub.Dropped() > 0 {
+		t.Fatalf("unexpected drops with a %d-slot buffer: %d", 1<<16, sub.Dropped())
+	}
+	total := bytes.Count(sink.Bytes(), []byte("\n"))
+	if seen != total {
+		t.Errorf("subscriber saw %d lines, sink has %d", seen, total)
+	}
+}
+
+func TestHubCloseIdempotentAndSinkKeepsWorking(t *testing.T) {
+	var sink bytes.Buffer
+	hub := NewHub(&sink)
+	_, sub := hub.Subscribe(8)
+	hub.Write([]byte("a\n"))
+	hub.Close()
+	hub.Close() // idempotent
+	if !hub.Closed() {
+		t.Error("hub not closed")
+	}
+	// The subscriber channel is closed after draining the pre-close line.
+	var got int
+	for range sub.C() {
+		got++
+	}
+	if got != 1 {
+		t.Errorf("subscriber received %d lines, want 1", got)
+	}
+	// Writes after Close still reach the canonical sink (the placement
+	// must finish its trace even if the dashboard shut down first).
+	if _, err := hub.Write([]byte("b\n")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "a\nb\n" {
+		t.Errorf("sink = %q, want %q", sink.String(), "a\nb\n")
+	}
+	// Subscribing to a closed hub yields the backlog and a closed channel.
+	backlog, late := hub.Subscribe(8)
+	if len(backlog) != 2 {
+		t.Errorf("post-close backlog has %d lines, want 2", len(backlog))
+	}
+	if _, ok := <-late.C(); ok {
+		t.Error("post-close subscription channel not closed")
+	}
+}
+
+// errWriter fails after n writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("sink failed")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestHubPropagatesCanonicalWriteError(t *testing.T) {
+	hub := NewHub(&errWriter{n: 1})
+	if _, err := hub.Write([]byte("ok\n")); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if _, err := hub.Write([]byte("boom\n")); err == nil {
+		t.Fatal("canonical sink error not propagated")
+	}
+}

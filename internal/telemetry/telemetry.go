@@ -24,8 +24,9 @@
 //	{"seq":1,"ev":"log","msg":"phase 1: ..."}
 //	{"seq":2,"ev":"snap","name":"wl_iter","iter":0,"f":{"overflow":0.93,...}}
 //	{"seq":3,"ev":"timing","msg":"timing: PT 1.24s, RT 0.31s"}
-//	{"seq":4,"ev":"span_end","span":1,"name":"place","dur_us":1240031}
-//	{"seq":5,"ev":"metric","name":"objective.evals","kind":"counter","value":412}
+//	{"seq":4,"ev":"grid","name":"congestion","iter":0,"nx":64,"ny":64,"max":1.4,"data":"00a3..."}
+//	{"seq":5,"ev":"span_end","span":1,"name":"place","dur_us":1240031}
+//	{"seq":6,"ev":"metric","name":"objective.evals","kind":"counter","value":412}
 package telemetry
 
 import (
@@ -161,6 +162,80 @@ func (o *Observer) Snapshot(name string, iter int, fields ...Field) {
 	o.mu.Unlock()
 }
 
+// gridLevels is the quantization alphabet of "grid" events: 36 intensity
+// steps, low to high. One character per G-cell keeps a 64×64 congestion
+// map at 4 KB per event — small enough to stream every route iteration.
+const gridLevels = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+// EncodeGridValues quantizes a non-negative field into the gridLevels
+// alphabet, max-normalized, and returns the data string and the maximum
+// (the scale needed to dequantize). All-zero input yields max 0 and an
+// all-'0' string. The quantization is a pure function of the values, so
+// grid events are part of the deterministic canonical trace.
+func EncodeGridValues(vals []float64) (data string, max float64) {
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	buf := make([]byte, len(vals))
+	n := float64(len(gridLevels) - 1)
+	for i, v := range vals {
+		k := 0
+		if max > 0 && v > 0 {
+			k = int(v/max*n + 0.5)
+			if k < 0 {
+				k = 0
+			}
+			if k > len(gridLevels)-1 {
+				k = len(gridLevels) - 1
+			}
+		}
+		buf[i] = gridLevels[k]
+	}
+	return string(buf), max
+}
+
+// DecodeGridValues reverses EncodeGridValues up to quantization error.
+// Unknown characters decode to 0.
+func DecodeGridValues(data string, max float64) []float64 {
+	out := make([]float64, len(data))
+	n := float64(len(gridLevels) - 1)
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		k := 0
+		switch {
+		case c >= '0' && c <= '9':
+			k = int(c - '0')
+		case c >= 'a' && c <= 'z':
+			k = int(c-'a') + 10
+		}
+		out[i] = float64(k) / n * max
+	}
+	return out
+}
+
+// Grid emits one quantized 2-D field snapshot (e.g. the congestion map of
+// route iteration iter): a "grid" event carrying the nx×ny row-major cells
+// encoded via EncodeGridValues. Deterministic; safe on nil.
+func (o *Observer) Grid(name string, iter, nx, ny int, vals []float64) {
+	if o == nil {
+		return
+	}
+	data, max := EncodeGridValues(vals)
+	o.mu.Lock()
+	o.emitLocked(func(e *eventWriter) {
+		e.str("ev", "grid")
+		e.str("name", name)
+		e.num("iter", int64(iter))
+		e.num("nx", int64(nx))
+		e.num("ny", int64(ny))
+		e.f64("max", max)
+		e.str("data", data)
+	})
+	o.mu.Unlock()
+}
+
 // Flush emits one "metric" event per registry entry (in the registry's
 // deterministic order) and returns the first write error encountered on
 // the stream, if any. Call once at the end of a run. Safe on nil.
@@ -183,6 +258,11 @@ func (o *Observer) Flush() error {
 				e.f64("sum", m.Sum)
 				e.f64("min", m.Min)
 				e.f64("max", m.Max)
+				if m.Count > 0 {
+					e.f64("p50", m.P50)
+					e.f64("p95", m.P95)
+					e.f64("p99", m.P99)
+				}
 			}
 			if m.Volatile {
 				e.boolean("volatile", true)

@@ -53,25 +53,12 @@ func TestTracerHierarchyAndAggregation(t *testing.T) {
 		}
 	}
 
-	// Every line must be valid JSON.
+	// Every line must be valid JSON. (The parse-back round trip lives in
+	// the report package tests.)
 	for ln, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
 		var m map[string]any
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
 			t.Fatalf("line %d not valid JSON: %v\n%s", ln+1, err, line)
-		}
-	}
-
-	// The trace must parse back to the same aggregation structure.
-	tr, err := ReadTrace(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tr.Stages) != len(want) {
-		t.Fatalf("parsed %d stages, want %d", len(tr.Stages), len(want))
-	}
-	for i, w := range want {
-		if tr.Stages[i].Name != w.name || tr.Stages[i].Depth != w.depth || tr.Stages[i].Count != w.count {
-			t.Errorf("parsed stage %d = %+v, want %+v", i, tr.Stages[i], w)
 		}
 	}
 }
@@ -193,65 +180,100 @@ func TestNonFiniteFloatsEncodeAsNull(t *testing.T) {
 	}
 }
 
-func TestSparkline(t *testing.T) {
-	if s := Sparkline(nil, 10); s != "" {
-		t.Errorf("empty series sparkline = %q", s)
+func TestGridEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []float64{0, 0.25, 0.5, 1.0, 2.0, 4.0}
+	data, max := EncodeGridValues(vals)
+	if max != 4.0 {
+		t.Fatalf("max = %v, want 4", max)
 	}
-	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10)
-	if len(s) != 10 {
-		t.Fatalf("sparkline width %d, want 10", len(s))
+	if len(data) != len(vals) {
+		t.Fatalf("data length %d, want %d", len(data), len(vals))
 	}
-	if s[0] != sparkLevels[0] || s[9] != sparkLevels[len(sparkLevels)-1] {
-		t.Errorf("sparkline extremes wrong: %q", s)
+	back := DecodeGridValues(data, max)
+	n := float64(len(gridLevels) - 1)
+	for i, v := range vals {
+		// Quantization error is bounded by half a level of the scale.
+		if diff := math.Abs(back[i] - v); diff > max/n/2+1e-12 {
+			t.Errorf("cell %d: decoded %v, want %v ± %v", i, back[i], v, max/n/2)
+		}
 	}
-	// Constant series: mid-level everywhere, no div-by-zero.
-	c := Sparkline([]float64{2, 2, 2}, 10)
-	if len(c) != 3 {
-		t.Errorf("constant series width %d, want 3", len(c))
+	// All-zero input: max 0, all-'0' string, decodes to zeros.
+	zd, zm := EncodeGridValues([]float64{0, 0, 0})
+	if zm != 0 || zd != "000" {
+		t.Errorf("all-zero grid encoded as (%q, %v)", zd, zm)
 	}
-	// Downsampling long series to the target width.
-	long := make([]float64, 1000)
-	for i := range long {
-		long[i] = float64(i)
-	}
-	if got := Sparkline(long, 60); len(got) != 60 {
-		t.Errorf("downsampled width %d, want 60", len(got))
+	for _, v := range DecodeGridValues(zd, zm) {
+		if v != 0 {
+			t.Errorf("all-zero grid decoded nonzero: %v", v)
+		}
 	}
 }
 
-func TestWriteReport(t *testing.T) {
-	var buf bytes.Buffer
-	o := NewObserver(&buf)
-	o.now = fakeClock(time.Millisecond)
-	root := o.StartSpan("place")
-	for i := 0; i < 5; i++ {
-		sp := o.StartSpan("route_iter")
-		o.Snapshot("route_iter", i,
-			F("overflow_score", float64(100-20*i)), F("lambda2", 0.1*float64(i)))
-		sp.End()
+func TestGridEventDeterministicAndValid(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		o := NewObserver(&buf)
+		o.Grid("congestion", 3, 2, 2, []float64{0.1, 0.9, 0.4, 0.2})
+		return buf.String()
 	}
-	root.End()
-	o.Counter("route.calls").Add(5)
-	o.Histogram("nesterov.step_size").Observe(0.5)
-	if err := o.Flush(); err != nil {
-		t.Fatal(err)
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatalf("grid events differ between runs:\n%s\nvs\n%s", a, b)
 	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(a)), &m); err != nil {
+		t.Fatalf("grid event not valid JSON: %v\n%s", err, a)
+	}
+	if m["ev"] != "grid" || m["name"] != "congestion" || m["nx"] != 2.0 || m["ny"] != 2.0 {
+		t.Errorf("grid event fields wrong: %v", m)
+	}
+}
 
-	tr, err := ReadTrace(&buf)
-	if err != nil {
-		t.Fatal(err)
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..1000: exact percentiles are 500.5 / 950.05 / 990.01; the
+	// log-bucket estimate is accurate to one sub-bucket (×10^(1/8) ≈ 1.33).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
 	}
-	var rep strings.Builder
-	tr.WriteReport(&rep)
-	out := rep.String()
-	for _, want := range []string{
-		"Per-stage timing", "place", "route_iter",
-		"Convergence: route_iter (5 samples)", "overflow_score", "lambda2",
-		"Metrics", "route.calls", "nesterov.step_size",
+	tol := math.Pow(10, 1.0/histSub)
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0.50, 500.5}, {0.95, 950.05}, {0.99, 990.01},
 	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("report missing %q:\n%s", want, out)
+		got := h.Quantile(tc.q)
+		if got < tc.want/tol || got > tc.want*tol {
+			t.Errorf("Quantile(%v) = %v, want within ×%.3f of %v", tc.q, got, tol, tc.want)
 		}
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want min 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %v, want max 1000", got)
+	}
+	// Snapshot carries the percentile fields.
+	r := NewRegistry()
+	rh := r.Histogram("h")
+	for i := 1; i <= 100; i++ {
+		rh.Observe(float64(i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	m := snap[0]
+	if m.P50 <= 0 || m.P95 < m.P50 || m.P99 < m.P95 || m.P99 > m.Max {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v max=%v", m.P50, m.P95, m.P99, m.Max)
+	}
+	// Empty histogram: zero percentiles, no panic.
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile nonzero")
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile nonzero")
 	}
 }
 

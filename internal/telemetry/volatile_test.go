@@ -55,29 +55,6 @@ func TestStripTimingsDropsVolatileMetrics(t *testing.T) {
 	}
 }
 
-func TestReportMarksVolatileMetrics(t *testing.T) {
-	var buf bytes.Buffer
-	obs := NewObserver(&buf)
-	obs.VolatileGauge("parallel.density.speedup").Set(2.5)
-	obs.Counter("route.calls").Inc()
-	if err := obs.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	tr, err := ReadTrace(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var out strings.Builder
-	tr.WriteReport(&out)
-	rep := out.String()
-	if !strings.Contains(rep, "parallel.density.speedup") {
-		t.Errorf("report dropped a volatile gauge:\n%s", rep)
-	}
-	if !strings.Contains(rep, "gauge*") || !strings.Contains(rep, "excluded from canonical traces") {
-		t.Errorf("report does not mark volatile metrics:\n%s", rep)
-	}
-}
-
 func TestVolatileGaugeNilSafety(t *testing.T) {
 	var r *Registry
 	r.VolatileGauge("x").Set(1) // must not panic

@@ -1,0 +1,29 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GoroutineBaseline records the current goroutine count. Take it BEFORE
+// the code under test starts any concurrent work.
+func GoroutineBaseline() int { return runtime.NumGoroutine() }
+
+// AssertNoGoroutineLeak polls for up to 5 s until the goroutine count is
+// back within +2 of the baseline (the runtime may briefly keep a retiring
+// worker or two alive) and fails the test otherwise. This is the one
+// leak-watch used by the checkpoint, chaos and dashboard suites.
+func AssertNoGoroutineLeak(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+}
