@@ -1,0 +1,66 @@
+// Command citool bundles the tiny file checks CI used to shell out to
+// python3 for, so the workflow needs nothing beyond the repo's own Go
+// toolchain:
+//
+//	citool flip-byte <file>   flip one bit of the file's middle byte in
+//	                          place (corrupts a checkpoint for the
+//	                          resume-smoke fallback leg)
+//	citool png-magic <file>   verify the file starts with the 8-byte PNG
+//	                          signature (dashboard-smoke heatmap check)
+//
+// Exit codes: 0 success / check passed, 1 check failed or I/O error,
+// 2 usage error.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: citool flip-byte|png-magic <file>")
+		return 2
+	}
+	cmd, path := args[0], args[1]
+	switch cmd {
+	case "flip-byte":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "citool: %v\n", err)
+			return 1
+		}
+		if len(data) == 0 {
+			fmt.Fprintf(os.Stderr, "citool: %s is empty\n", path)
+			return 1
+		}
+		data[len(data)/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "citool: %v\n", err)
+			return 1
+		}
+		fmt.Printf("flipped byte %d of %s\n", len(data)/2, path)
+		return 0
+	case "png-magic":
+		magic := []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "citool: %v\n", err)
+			return 1
+		}
+		if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic) {
+			fmt.Fprintf(os.Stderr, "citool: %s is not a PNG\n", path)
+			return 1
+		}
+		fmt.Printf("%s: PNG signature ok (%d bytes)\n", path, len(data))
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "citool: unknown command %q\n", cmd)
+		return 2
+	}
+}

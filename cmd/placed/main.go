@@ -1,0 +1,117 @@
+// Command placed runs the placement job server: an HTTP/JSON API (see
+// internal/jobs.Server for the endpoints) over a multi-tenant scheduler
+// that multiplexes concurrent placements across a bounded worker pool with
+// per-job worker budgets, priorities and fair-share preemption at stage
+// boundaries.
+//
+// Every job checkpoints its state under -state at each stage boundary, so a
+// killed server process can be restarted over the same directory and its
+// jobs migrate: they resume from their last checkpoint and still produce a
+// final placement and canonical trace byte-identical to an uninterrupted
+// CLI run (the repo's byte-identity contract; verified by CI's
+// placed-smoke).
+//
+//	placed -addr localhost:9090 -state /var/lib/placed [-capacity N]
+//	       [-quantum K] [-persist-every K] [-v]
+//
+// On SIGINT/SIGTERM the server stops accepting work, checkpoints every
+// running job at its next stage boundary and exits; a second signal exits
+// immediately (jobs then migrate from their last persisted checkpoint, as
+// after a crash). Exit codes: 0 clean shutdown, 1 generic error, 2 usage
+// error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/jobs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "placed: internal error: %v\n", r)
+			code = 1
+		}
+	}()
+	addr := flag.String("addr", "localhost:9090", "listen address")
+	state := flag.String("state", "", "state directory (required); jobs persist and migrate here")
+	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0), "worker-slot pool shared by running jobs")
+	quantum := flag.Int("quantum", 4, "stage boundaries per scheduling lease (fair-share preemption)")
+	persistEvery := flag.Int("persist-every", 1, "persist a migration checkpoint every K stage boundaries")
+	verbose := flag.Bool("v", false, "log job lifecycle events")
+	flag.Parse()
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "placed: -state is required")
+		return 2
+	}
+
+	cfg := jobs.Config{
+		Dir:          *state,
+		Capacity:     *capacity,
+		Quantum:      *quantum,
+		PersistEvery: *persistEvery,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	m, err := jobs.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placed: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placed: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: jobs.NewServer(m).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "placed listening on http://%s/ (state %s, capacity %d)\n",
+		ln.Addr(), *state, cfg.Capacity)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "placed: %v\n", err)
+			return 1
+		}
+		return 0
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "placed: %v: draining (checkpointing running jobs; signal again to force)\n", s)
+	}
+
+	// Stop accepting requests, then let every running job reach a stage
+	// boundary and checkpoint. A second signal abandons the wait — the jobs
+	// migrate from their last persisted checkpoint on the next start.
+	go srv.Close()
+	done := make(chan struct{})
+	go func() {
+		m.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Fprintln(os.Stderr, "placed: drained; state saved")
+		return 0
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "placed: %v: forced exit\n", s)
+		return 1
+	}
+}

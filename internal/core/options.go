@@ -129,6 +129,36 @@ type Options struct {
 	// Empty disables scheduled checkpoints. Requires CheckpointPath.
 	CheckpointAfter string
 
+	// BoundaryHook, when non-nil, is consulted at every checkpoint boundary —
+	// after each finished stage and after each completed route iteration, the
+	// same points CheckpointAfter can name. The point string is the boundary's
+	// name ("wirelength", "route_iter:3", …). The returned BoundaryAction lets
+	// a supervisor (the job server's scheduler) persist the run's state
+	// mid-flight or stop it cooperatively:
+	//
+	//   - BoundaryContinue: nothing happens.
+	//   - BoundaryCheckpoint: the state is written to CheckpointPath and the
+	//     run continues. Capturing is read-only and emits no telemetry, so
+	//     periodic persistence never perturbs the run or its trace.
+	//   - BoundaryStop: the state is written to CheckpointPath and the run
+	//     stops with ErrCheckpointed — exactly the scheduled-checkpoint path,
+	//     so a resume is a byte-exact trace continuation. This is the
+	//     pause/preemption primitive: the stage-graph cursor makes the stop
+	//     point explicit and the resume deterministic.
+	//
+	// Checkpointing actions require CheckpointPath and are ignored without it.
+	// BoundaryHook is environment, not algorithm state: it is never serialized
+	// into checkpoints and always taken from the caller on resume.
+	BoundaryHook func(point string) BoundaryAction
+
+	// DisableCancelCheckpoint suppresses the best-effort checkpoint normally
+	// written to CheckpointPath when the run is cancelled. The job server sets
+	// it: cancellation checkpoints are taken mid-step (position-identical but
+	// not trace-identical on resume), and a supervisor that persists scheduled
+	// boundary checkpoints must not let a cancellation overwrite its last
+	// trace-exact migration point.
+	DisableCancelCheckpoint bool
+
 	// Workers caps the goroutines used by the parallel kernels (wirelength
 	// gradient, density rasterization, Poisson transforms and the router's
 	// candidate choice). 0 selects runtime.NumCPU(); 1 runs fully serial.

@@ -59,6 +59,21 @@ import (
 // from the written checkpoint completes the run byte-identically.
 var ErrCheckpointed = errors.New("core: run stopped at scheduled checkpoint")
 
+// BoundaryAction is what Options.BoundaryHook tells the pipeline to do at a
+// checkpoint boundary. See the field's documentation for the semantics.
+type BoundaryAction int
+
+const (
+	// BoundaryContinue runs on without touching the checkpoint file.
+	BoundaryContinue BoundaryAction = iota
+	// BoundaryCheckpoint writes the state to Options.CheckpointPath and
+	// continues — periodic persistence for crash migration.
+	BoundaryCheckpoint
+	// BoundaryStop writes the state and stops with ErrCheckpointed — the
+	// cooperative pause/preemption point.
+	BoundaryStop
+)
+
 // Stage is one step of the placement pipeline. Run mutates the shared
 // PlacementState and returns nil on completion, a context error when
 // cancelled (after bringing the design back to a consistent position
@@ -309,13 +324,28 @@ func (ps *PlacementState) afterStage(name string) error {
 // emitted between the state capture and the return, or the interrupted
 // trace would diverge from the uninterrupted one.
 func (ps *PlacementState) maybeCheckpoint(point string) error {
-	if ps.Opt.CheckpointAfter == "" || ps.Opt.CheckpointAfter != point {
-		return nil
+	if ps.Opt.CheckpointAfter != "" && ps.Opt.CheckpointAfter == point {
+		if err := ps.writeCheckpointNow(); err != nil {
+			return err
+		}
+		return ErrCheckpointed
 	}
-	if err := ps.writeCheckpointNow(); err != nil {
-		return err
+	// The supervisor hook sees every boundary the scheduled checkpoint could
+	// name. Capture is read-only and emits no telemetry, so a mid-flight
+	// checkpoint leaves the run — and its trace — untouched; a stop is
+	// indistinguishable from a CheckpointAfter stop at this point.
+	if ps.Opt.BoundaryHook != nil && ps.Opt.CheckpointPath != "" {
+		switch ps.Opt.BoundaryHook(point) {
+		case BoundaryCheckpoint:
+			return ps.writeCheckpointNow()
+		case BoundaryStop:
+			if err := ps.writeCheckpointNow(); err != nil {
+				return err
+			}
+			return ErrCheckpointed
+		}
 	}
-	return ErrCheckpointed
+	return nil
 }
 
 // fail is the runner's single error exit. Scheduled checkpoints pass
@@ -331,7 +361,7 @@ func (ps *PlacementState) fail(err error) (*Result, error) {
 		ps.root.End()
 		ps.root = nil
 		ps.Res.PlaceTime = time.Since(ps.start)
-		if ps.Opt.CheckpointPath != "" {
+		if ps.Opt.CheckpointPath != "" && !ps.Opt.DisableCancelCheckpoint {
 			if werr := ps.writeCheckpointNow(); werr != nil {
 				return ps.Res, fmt.Errorf("%w (and writing the checkpoint failed: %v)", err, werr)
 			}

@@ -776,6 +776,46 @@ func ResumeFromFile(ctx context.Context, d *netlist.Design, path string, opt Opt
 	return resumeCheckpoint(ctx, d, ck, opt)
 }
 
+// CheckpointInfo summarizes a checkpoint file for job-management tooling
+// without rebuilding any runtime state.
+type CheckpointInfo struct {
+	// Stage, Iter and Step are the pipeline cursor the checkpoint was taken
+	// at (the next work to do on resume).
+	Stage string
+	Iter  int
+	Step  int
+	// RouteIters is the number of router calls committed so far.
+	RouteIters int
+	// TraceSeq is the number of telemetry events the run had emitted when
+	// the state was captured: exactly the first TraceSeq lines of the run's
+	// JSONL trace precede this checkpoint. A supervisor migrating a crashed
+	// run truncates the trace file to those lines before resuming, which
+	// keeps the continued trace a byte-exact continuation. Zero when the run
+	// had no Observer.
+	TraceSeq int64
+}
+
+// InspectCheckpoint validates and summarizes the checkpoint at path. A
+// damaged file fails with ErrCheckpointCorrupt, exactly as resuming from it
+// would, so callers can probe a primary checkpoint and fall back to its
+// rotated ".prev" sibling themselves.
+func InspectCheckpoint(path string) (CheckpointInfo, error) {
+	ck, err := readCheckpointFile(path)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	info := CheckpointInfo{
+		Stage:      ck.Cur.stage,
+		Iter:       ck.Cur.iter,
+		Step:       ck.Cur.step,
+		RouteIters: ck.RouteIters,
+	}
+	if ck.Tel != nil {
+		info.TraceSeq = ck.Tel.Seq
+	}
+	return info, nil
+}
+
 func readCheckpointFile(path string) (*checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -826,12 +866,14 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 		SkipDetailed:       ck.SkipDetailed,
 		Guard:              ck.GuardCfg,
 
-		Workers:         opt.Workers,
-		Log:             opt.Log,
-		Observer:        opt.Observer,
-		CheckpointPath:  opt.CheckpointPath,
-		CheckpointAfter: opt.CheckpointAfter,
-		FaultInjector:   opt.FaultInjector,
+		Workers:                 opt.Workers,
+		Log:                     opt.Log,
+		Observer:                opt.Observer,
+		CheckpointPath:          opt.CheckpointPath,
+		CheckpointAfter:         opt.CheckpointAfter,
+		BoundaryHook:            opt.BoundaryHook,
+		DisableCancelCheckpoint: opt.DisableCancelCheckpoint,
+		FaultInjector:           opt.FaultInjector,
 	}
 	// The checkpoint stores post-setDefaults values, so WLOverflowStop==0
 	// really means threshold zero; re-running setDefaults would turn it

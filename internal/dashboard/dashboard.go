@@ -17,6 +17,10 @@
 //	/heatmap?iter=K[&name=N]
 //	              the congestion grid of route iteration K as PNG
 //	              (shared renderer: internal/plot.WriteHeatmapPNG)
+//
+// The page references its endpoints by relative URL, so the whole handler
+// can be mounted under a path prefix (http.StripPrefix) — the job server
+// serves one dashboard per job at /jobs/{id}/dashboard/.
 package dashboard
 
 import (

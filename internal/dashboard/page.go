@@ -288,7 +288,7 @@ function renderHeatControls() {
 function showFrame(idx) {
   if (idx < 0 || idx >= gridIters.length) return;
   const it = gridIters[idx];
-  heatimg.src = "/heatmap?iter=" + it + "&t=" + eventCount; // bust cache while live
+  heatimg.src = "heatmap?iter=" + it + "&t=" + eventCount; // bust cache while live
   heatlabel.textContent = "route iter " + it + " (" + (idx + 1) + "/" + gridIters.length + ")";
 }
 
@@ -315,7 +315,7 @@ function fmtDur(us) {
 
 // ---- SSE wiring --------------------------------------------------------
 const status = document.getElementById("status");
-const es = new EventSource("/events");
+const es = new EventSource("events");
 es.onopen = () => { status.textContent = "live"; status.className = "live"; };
 es.onmessage = e => {
   try { onEvent(JSON.parse(e.data)); } catch (err) { /* skip malformed */ }

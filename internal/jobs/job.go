@@ -1,0 +1,134 @@
+package jobs
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// State is a job's lifecycle state. Transitions:
+//
+//	queued ──▶ running ──▶ done | failed
+//	  ▲           │
+//	  │           ├─▶ pausing ──▶ paused ──▶ queued   (Resume)
+//	  │           │                 │
+//	  └───────────┘ (preemption)    │
+//	queued/running/pausing/paused ──┴─▶ cancelling ──▶ cancelled
+//
+// Preemption (fair share or priority) moves a running job back to queued via
+// a scheduled checkpoint; the states involved are invisible to the client —
+// only an explicit Pause parks a job in paused.
+type State string
+
+const (
+	StateQueued     State = "queued"
+	StateRunning    State = "running"
+	StatePausing    State = "pausing" // pause requested; stopping at the next boundary
+	StatePaused     State = "paused"
+	StateCancelling State = "cancelling"
+	StateCancelled  State = "cancelled"
+	StateDone       State = "done"
+	StateFailed     State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateCancelled || s == StateDone || s == StateFailed
+}
+
+// Summary is the scorecard of a completed job, mirroring the placer CLI's
+// result line.
+type Summary struct {
+	HPWLFinal    float64 `json:"hpwl_final"`
+	DRWL         float64 `json:"drwl"`
+	DRVias       int     `json:"dr_vias"`
+	DRVs         int     `json:"drvs"`
+	WLIters      int     `json:"wl_iters"`
+	RouteIters   int     `json:"route_iters"`
+	PlaceSeconds float64 `json:"place_seconds"`
+	RouteSeconds float64 `json:"route_seconds"`
+}
+
+func summarize(res *core.Result) *Summary {
+	return &Summary{
+		HPWLFinal:    res.HPWLFinal,
+		DRWL:         res.Metrics.DRWL,
+		DRVias:       res.Metrics.DRVias,
+		DRVs:         res.Metrics.DRVs,
+		WLIters:      res.WLIters,
+		RouteIters:   res.RouteIters,
+		PlaceSeconds: res.PlaceTime.Seconds(),
+		RouteSeconds: res.RouteTime.Seconds(),
+	}
+}
+
+// JobView is the client-facing snapshot of a job, returned by the list and
+// get endpoints.
+type JobView struct {
+	ID       string    `json:"id"`
+	Design   string    `json:"design"`
+	Mode     string    `json:"mode"`
+	State    State     `json:"state"`
+	Priority int       `json:"priority,omitempty"`
+	Workers  int       `json:"workers,omitempty"`
+	Created  time.Time `json:"created"`
+	// Segments counts the pipeline segments run so far (1 for a job that was
+	// never paused, preempted or migrated).
+	Segments int      `json:"segments"`
+	Error    string   `json:"error,omitempty"`
+	Summary  *Summary `json:"summary,omitempty"`
+	// Checkpoint is the last persisted pipeline cursor ("stage/iter/step"),
+	// empty before the first boundary.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// jobRecord is the on-disk form (job.json) that lets a fresh process adopt
+// the job after a crash. The spec is stored verbatim so segments in the new
+// process rebuild the identical design and options.
+type jobRecord struct {
+	ID       string    `json:"id"`
+	Seq      int       `json:"seq"`
+	Spec     Spec      `json:"spec"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Segments int       `json:"segments"`
+	Error    string    `json:"error,omitempty"`
+	Summary  *Summary  `json:"summary,omitempty"`
+}
+
+// job is the manager's internal bookkeeping for one placement.
+type job struct {
+	id      string
+	seq     int
+	spec    Spec
+	dir     string // per-job state directory
+	created time.Time
+
+	state    State
+	errMsg   string
+	summary  *Summary
+	segments int
+
+	// hub carries the job's telemetry for the whole job lifetime in this
+	// process: canonical sink = the trace file, subscribers = SSE clients
+	// and dashboards. Closed exactly once, when the job goes terminal (or at
+	// manager close), which ends live streams with eof.
+	hub       *telemetry.Hub
+	traceFile *os.File // canonical sink behind hub; nil once closed
+
+	// pauseWanted distinguishes an explicit Pause (park in paused) from
+	// scheduler preemption (requeue) when a segment stops at a boundary.
+	pauseWanted bool
+	// resume selects ResumeFromFile over PlaceContext for the next segment.
+	resume bool
+	// cancel aborts the currently running segment's context; nil when no
+	// segment is active.
+	cancel func()
+	// boundarySeen counts boundary-hook calls that did not stop the job,
+	// for the PersistEvery throttle.
+	boundarySeen int
+	// lastCheckpoint is the most recent persisted cursor, for JobView.
+	lastCheckpoint string
+}

@@ -1,0 +1,710 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designio"
+	"repro/internal/netlist"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Dir is the state directory. Every job lives in Dir/<id>/ (job.json,
+	// trace.jsonl, run.ckpt, out.place); a Manager opened over an existing
+	// directory adopts the jobs it finds there.
+	Dir string
+	// Capacity is the worker-slot pool shared by all running jobs
+	// (default 1). A job occupies its (clamped) Workers budget while running.
+	Capacity int
+	// Quantum is the fair-share lease: after this many stage boundaries a
+	// running job yields to an equal-or-higher-priority waiter (default 4).
+	Quantum int
+	// PersistEvery throttles durability checkpoints to every Nth boundary
+	// (default 1: persist at every boundary — the crash-migration window is
+	// then a single stage or route iteration).
+	PersistEvery int
+	// Log receives operational one-liners; nil discards them.
+	Log io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Capacity < 1 {
+		c.Capacity = 1
+	}
+	if c.Quantum < 1 {
+		c.Quantum = 4
+	}
+	if c.PersistEvery < 1 {
+		c.PersistEvery = 1
+	}
+}
+
+// Manager owns the job table, the scheduler and the worker pool. All methods
+// are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	sched   *sched
+	nextSeq int
+	closed  bool
+	killed  bool
+
+	wg sync.WaitGroup // one count per in-flight placement segment
+}
+
+var (
+	// ErrNoSuchJob is returned for an unknown job ID.
+	ErrNoSuchJob = errors.New("jobs: no such job")
+	// ErrBadTransition is returned when a pause/resume/cancel does not apply
+	// to the job's current state.
+	ErrBadTransition = errors.New("jobs: invalid state transition")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: manager is closed")
+)
+
+// Open creates a Manager over cfg.Dir, creating the directory if needed and
+// recovering any jobs a previous process left behind:
+//
+//   - terminal jobs are adopted read-only (their traces replay over SSE);
+//   - paused jobs stay paused, ready to resume from their checkpoint;
+//   - queued/running jobs are re-queued — from their latest valid checkpoint
+//     when one exists (the trace file is first truncated to the events that
+//     preceded it, keeping the migrated run's trace byte-exact), from
+//     scratch otherwise;
+//   - jobs caught mid-cancellation are marked cancelled.
+func Open(cfg Config) (*Manager, error) {
+	cfg.fill()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("jobs: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:   cfg,
+		jobs:  map[string]*job{},
+		sched: newSched(cfg.Capacity, cfg.Quantum),
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.scheduleLocked()
+	m.mu.Unlock()
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Log != nil {
+		fmt.Fprintf(m.cfg.Log, "jobs: "+format+"\n", args...)
+	}
+}
+
+// ---- Submission and control ----
+
+// Submit validates spec, registers the job and schedules it. It returns the
+// job ID immediately; the placement runs asynchronously.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	// Building the design up front rejects a broken inline payload at
+	// submission instead of failing the job later; segments rebuild it
+	// (deterministically) when they run.
+	if _, err := spec.BuildDesign(); err != nil {
+		return "", err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	m.nextSeq++
+	j := &job{
+		id:      fmt.Sprintf("j%04d", m.nextSeq),
+		seq:     m.nextSeq,
+		spec:    spec,
+		created: time.Now().UTC(),
+		state:   StateQueued,
+	}
+	j.dir = filepath.Join(m.cfg.Dir, j.id)
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return "", err
+	}
+	f, err := os.OpenFile(m.tracePath(j), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	j.traceFile = f
+	j.hub = telemetry.NewHub(f)
+	m.jobs[j.id] = j
+	if err := m.persistLocked(j); err != nil {
+		return "", err
+	}
+	m.sched.add(j.id, j.seq, j.spec.Priority, m.budget(&j.spec))
+	m.logf("submitted %s design=%s mode=%s workers=%d priority=%d",
+		j.id, j.spec.DesignName(), j.spec.Mode, m.budget(&j.spec), j.spec.Priority)
+	m.scheduleLocked()
+	return j.id, nil
+}
+
+// Pause asks a job to park: a running job checkpoints and stops at its next
+// stage boundary, a queued job leaves the scheduler immediately. Pausing a
+// paused or pausing job is a no-op.
+func (m *Manager) Pause(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNoSuchJob
+	}
+	switch j.state {
+	case StatePaused, StatePausing:
+		return nil
+	case StateQueued:
+		m.sched.remove(id)
+		j.state = StatePaused
+		return m.persistLocked(j)
+	case StateRunning:
+		j.pauseWanted = true
+		j.state = StatePausing
+		m.sched.stop(id)
+		m.scheduleLocked() // a waiter may be admissible once the slots free
+		return m.persistLocked(j)
+	default:
+		return fmt.Errorf("%w: cannot pause a %s job", ErrBadTransition, j.state)
+	}
+}
+
+// Resume re-queues a paused job; it continues from its checkpoint.
+func (m *Manager) Resume(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNoSuchJob
+	}
+	if j.state != StatePaused {
+		return fmt.Errorf("%w: cannot resume a %s job", ErrBadTransition, j.state)
+	}
+	j.state = StateQueued
+	m.sched.add(j.id, j.seq, j.spec.Priority, m.budget(&j.spec))
+	if err := m.persistLocked(j); err != nil {
+		return err
+	}
+	m.scheduleLocked()
+	return nil
+}
+
+// Cancel aborts a job. A running segment is cancelled via its context (the
+// core's cancellation checkpoint is disabled, so the abort cannot disturb
+// the job's last migration point); a queued or paused job goes terminal
+// immediately. Cancelling an already-cancelled job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNoSuchJob
+	}
+	switch j.state {
+	case StateCancelled, StateCancelling:
+		return nil
+	case StateQueued, StatePaused:
+		m.sched.remove(id)
+		j.state = StateCancelled
+		m.finishLocked(j)
+		m.scheduleLocked()
+		return m.persistLocked(j)
+	case StateRunning, StatePausing:
+		j.state = StateCancelling
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return m.persistLocked(j)
+	default:
+		return fmt.Errorf("%w: cannot cancel a %s job", ErrBadTransition, j.state)
+	}
+}
+
+// Get returns a snapshot of one job.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, ErrNoSuchJob
+	}
+	return m.viewLocked(j), nil
+}
+
+// List returns snapshots of all jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.viewLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Hub returns the job's telemetry hub for SSE/dashboard subscribers. The
+// hub of a terminal job is closed: subscribers receive the full backlog and
+// an immediate end-of-stream.
+func (m *Manager) Hub(id string) (*telemetry.Hub, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	return j.hub, nil
+}
+
+// TracePath returns the job's canonical JSONL trace file.
+func (m *Manager) TracePath(id string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", ErrNoSuchJob
+	}
+	return m.tracePath(j), nil
+}
+
+// PlacementPath returns the final placement file of a done job.
+func (m *Manager) PlacementPath(id string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", ErrNoSuchJob
+	}
+	if j.state != StateDone {
+		return "", fmt.Errorf("%w: placement available once done, job is %s", ErrBadTransition, j.state)
+	}
+	return filepath.Join(j.dir, "out.place"), nil
+}
+
+// ---- Scheduling and segments ----
+
+// budget is the job's effective worker-slot budget.
+func (m *Manager) budget(s *Spec) int {
+	w := s.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > m.cfg.Capacity {
+		w = m.cfg.Capacity
+	}
+	return w
+}
+
+// scheduleLocked starts segments for every job the scheduler admits.
+// Callers hold m.mu.
+func (m *Manager) scheduleLocked() {
+	if m.closed || m.killed {
+		return
+	}
+	for _, id := range m.sched.decide() {
+		j := m.jobs[id]
+		j.state = StateRunning
+		j.segments++
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		resume := j.resume
+		if err := m.persistLocked(j); err != nil {
+			m.logf("%s: persist: %v", j.id, err)
+		}
+		m.logf("%s: starting segment %d (resume=%v)", j.id, j.segments, resume)
+		m.wg.Add(1)
+		go m.runSegment(ctx, j, resume)
+	}
+}
+
+// boundary is the job's core.Options.BoundaryHook: it consults the
+// scheduler (preemption, pause, fair-share yield) and otherwise persists a
+// durability checkpoint every PersistEvery boundaries.
+func (m *Manager) boundary(j *job, point string) core.BoundaryAction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.killed {
+		// Crash simulation: freeze the on-disk state exactly as a dead
+		// process would have left it.
+		return core.BoundaryContinue
+	}
+	if m.sched.onBoundary(j.id) {
+		j.lastCheckpoint = point
+		return core.BoundaryStop
+	}
+	j.boundarySeen++
+	if j.boundarySeen%m.cfg.PersistEvery == 0 {
+		j.lastCheckpoint = point
+		return core.BoundaryCheckpoint
+	}
+	return core.BoundaryContinue
+}
+
+// runSegment executes one placement segment: a fresh run or a resume from
+// the job's checkpoint, with a fresh Observer writing through the job's hub
+// so every segment's events concatenate into one canonical trace.
+func (m *Manager) runSegment(ctx context.Context, j *job, resume bool) {
+	defer m.wg.Done()
+	d, err := j.spec.BuildDesign()
+	if err != nil {
+		m.onSegmentEnd(j, nil, nil, nil, err)
+		return
+	}
+	opt := j.spec.coreOptions()
+	opt.Workers = m.budget(&j.spec)
+	opt.Observer = telemetry.NewObserver(j.hub)
+	opt.CheckpointPath = filepath.Join(j.dir, "run.ckpt")
+	opt.DisableCancelCheckpoint = true
+	opt.BoundaryHook = func(point string) core.BoundaryAction { return m.boundary(j, point) }
+
+	var res *core.Result
+	if resume {
+		res, err = core.ResumeFromFile(ctx, d, opt.CheckpointPath, opt)
+	} else {
+		res, err = core.PlaceContext(ctx, d, opt)
+	}
+	m.onSegmentEnd(j, d, opt.Observer, res, err)
+}
+
+// onSegmentEnd is the job state machine: it classifies how the segment
+// ended, persists the transition and lets the scheduler fill the freed
+// slots.
+func (m *Manager) onSegmentEnd(j *job, d *netlist.Design, obs *telemetry.Observer, res *core.Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.killed {
+		return // crash simulation: the dead process updates nothing
+	}
+	j.cancel = nil
+	switch {
+	case errors.Is(err, core.ErrCheckpointed):
+		// Scheduled stop at a boundary: pause parks the job, preemption and
+		// graceful shutdown requeue it. Either way the next segment resumes
+		// from the checkpoint and the trace continues byte-exactly.
+		j.resume = true
+		if j.pauseWanted {
+			j.pauseWanted = false
+			j.state = StatePaused
+			m.sched.remove(j.id)
+			m.logf("%s: paused at %s", j.id, j.lastCheckpoint)
+		} else {
+			j.state = StateQueued
+			m.sched.requeue(j.id)
+			m.logf("%s: preempted at %s", j.id, j.lastCheckpoint)
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		m.sched.remove(j.id)
+		m.finishLocked(j)
+		m.logf("%s: cancelled", j.id)
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		m.sched.remove(j.id)
+		m.finishLocked(j)
+		m.logf("%s: failed: %v", j.id, err)
+	default:
+		// Mirror the CLI's end-of-run telemetry exactly: the volatile
+		// dropped-events gauge, then the metrics flush. Volatile metrics
+		// sort after deterministic ones and are stripped from canonical
+		// traces, so the server's extra subscribers never shift the trace.
+		obs.VolatileGauge("telemetry.dropped_events").Set(float64(j.hub.Dropped()))
+		if ferr := obs.Flush(); ferr != nil {
+			m.logf("%s: trace flush: %v", j.id, ferr)
+		}
+		if werr := m.writePlacementLocked(j, d); werr != nil {
+			j.state = StateFailed
+			j.errMsg = werr.Error()
+		} else {
+			j.summary = summarize(res)
+			j.state = StateDone
+			m.logf("%s: done HPWL=%.0f DRVs=%d", j.id, res.HPWLFinal, res.Metrics.DRVs)
+		}
+		m.sched.remove(j.id)
+		m.finishLocked(j)
+	}
+	if perr := m.persistLocked(j); perr != nil {
+		m.logf("%s: persist: %v", j.id, perr)
+	}
+	m.scheduleLocked()
+}
+
+func (m *Manager) writePlacementLocked(j *job, d *netlist.Design) error {
+	var buf bytes.Buffer
+	if err := designio.Write(&buf, d); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(j.dir, "out.place"), buf.Bytes())
+}
+
+// finishLocked closes the job's live stream and trace file. Idempotent.
+func (m *Manager) finishLocked(j *job) {
+	if j.hub != nil {
+		j.hub.Close()
+	}
+	if j.traceFile != nil {
+		if err := j.traceFile.Close(); err != nil {
+			m.logf("%s: trace close: %v", j.id, err)
+		}
+		j.traceFile = nil
+	}
+}
+
+// ---- Persistence and recovery ----
+
+func (m *Manager) tracePath(j *job) string {
+	return filepath.Join(j.dir, "trace.jsonl")
+}
+
+func (m *Manager) persistLocked(j *job) error {
+	rec := jobRecord{
+		ID:       j.id,
+		Seq:      j.seq,
+		Spec:     j.spec,
+		State:    j.state,
+		Created:  j.created,
+		Segments: j.segments,
+		Error:    j.errMsg,
+		Summary:  j.summary,
+	}
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(j.dir, "job.json"), append(data, '\n'))
+}
+
+func (m *Manager) viewLocked(j *job) JobView {
+	mode := j.spec.Mode
+	if mode == "" {
+		mode = "ours"
+	}
+	return JobView{
+		ID:         j.id,
+		Design:     j.spec.DesignName(),
+		Mode:       mode,
+		State:      j.state,
+		Priority:   j.spec.Priority,
+		Workers:    m.budget(&j.spec),
+		Created:    j.created,
+		Segments:   j.segments,
+		Error:      j.errMsg,
+		Summary:    j.summary,
+		Checkpoint: j.lastCheckpoint,
+	}
+}
+
+// recover adopts the jobs a previous process left in the state directory.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.cfg.Dir, e.Name())
+		data, err := os.ReadFile(filepath.Join(dir, "job.json"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // not a job directory
+			}
+			return err
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			m.logf("recover %s: bad job.json: %v (skipped)", e.Name(), err)
+			continue
+		}
+		j := &job{
+			id:       rec.ID,
+			seq:      rec.Seq,
+			spec:     rec.Spec,
+			dir:      dir,
+			created:  rec.Created,
+			state:    rec.State,
+			errMsg:   rec.Error,
+			summary:  rec.Summary,
+			segments: rec.Segments,
+		}
+		if err := m.recoverJob(j); err != nil {
+			return fmt.Errorf("recover %s: %w", j.id, err)
+		}
+		m.jobs[j.id] = j
+		if j.seq > m.nextSeq {
+			m.nextSeq = j.seq
+		}
+	}
+	return nil
+}
+
+// recoverJob rebuilds one adopted job's runtime state (hub, trace file,
+// scheduler entry) from its on-disk remains.
+func (m *Manager) recoverJob(j *job) error {
+	trace := m.tracePath(j)
+	if j.state.Terminal() {
+		// Read-only adoption: seed a closed hub so SSE replays the full
+		// stream and immediately ends it.
+		lines, err := readTraceLines(trace)
+		if err != nil {
+			return err
+		}
+		j.hub = telemetry.NewHub(nil)
+		j.hub.Seed(lines)
+		j.hub.Close()
+		return nil
+	}
+	if j.state == StateCancelling {
+		// The cancel was requested before the crash; honor it. The trace is
+		// whatever the dead process got out — cancelled jobs carry no
+		// byte-identity promise.
+		j.state = StateCancelled
+		lines, err := readTraceLines(trace)
+		if err != nil {
+			return err
+		}
+		j.hub = telemetry.NewHub(nil)
+		j.hub.Seed(lines)
+		j.hub.Close()
+		return m.persistLocked(j)
+	}
+
+	// Find the job's latest valid migration point. Only boundary
+	// checkpoints exist (the manager disables cancellation checkpoints), so
+	// any valid file here is trace-exact.
+	ckpt := filepath.Join(j.dir, "run.ckpt")
+	info, ierr := core.InspectCheckpoint(ckpt)
+	if ierr != nil && errors.Is(ierr, core.ErrCheckpointCorrupt) {
+		prev := ckpt + ".prev"
+		if pinfo, perr := core.InspectCheckpoint(prev); perr == nil {
+			// Promote the last-good rotation so the resume path reads a
+			// valid primary.
+			if rerr := os.Rename(prev, ckpt); rerr != nil {
+				return rerr
+			}
+			info, ierr = pinfo, nil
+			m.logf("%s: primary checkpoint corrupt; promoted .prev", j.id)
+		}
+	}
+
+	fresh := ierr != nil
+	var seedLines [][]byte
+	if !fresh {
+		lines, terr := truncateTrace(trace, info.TraceSeq)
+		if terr != nil {
+			if !errors.Is(terr, errTraceShort) {
+				return terr
+			}
+			// Checkpoint claims events the trace never got: the pair is
+			// inconsistent, so a byte-exact migration is impossible.
+			// Restart the job from scratch rather than serve a wrong trace.
+			m.logf("%s: %v; restarting from scratch", j.id, terr)
+			fresh = true
+		} else {
+			seedLines = lines
+		}
+	}
+	if fresh {
+		os.Remove(ckpt)
+		os.Remove(ckpt + ".prev")
+		if err := os.WriteFile(trace, nil, 0o644); err != nil {
+			return err
+		}
+		j.resume = false
+	} else {
+		j.resume = true
+		j.lastCheckpoint = fmt.Sprintf("%s iter=%d", info.Stage, info.Iter)
+	}
+
+	f, err := os.OpenFile(trace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.traceFile = f
+	j.hub = telemetry.NewHub(f)
+	j.hub.Seed(seedLines)
+
+	// Pausing collapses to paused (the stop was requested; the crash
+	// delivered it); queued/running re-queue for migration.
+	switch j.state {
+	case StatePausing, StatePaused:
+		j.state = StatePaused
+	default:
+		j.state = StateQueued
+		m.sched.add(j.id, j.seq, j.spec.Priority, m.budget(&j.spec))
+	}
+	m.logf("%s: recovered as %s (resume=%v)", j.id, j.state, j.resume)
+	return m.persistLocked(j)
+}
+
+// ---- Shutdown ----
+
+// Close shuts the manager down gracefully: running jobs checkpoint and stop
+// at their next stage boundary and are persisted as queued, so a Manager
+// reopened over the same directory resumes them byte-exactly. Blocks until
+// all segments have stopped.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	for id, j := range m.jobs {
+		if j.state == StateRunning {
+			m.sched.stop(id)
+		}
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		m.finishLocked(j)
+	}
+	m.mu.Unlock()
+}
+
+// Kill simulates a process crash for tests: it abandons all segments
+// without persisting any further state, leaving the directory exactly as a
+// SIGKILLed worker would — the last boundary checkpoint on disk and a trace
+// file that may run past it. Blocks until the segments have exited (so no
+// file write races the Manager that adopts the directory next).
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	m.killed = true
+	var cancels []func()
+	for _, j := range m.jobs {
+		if j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,228 @@
+package jobs
+
+// The scheduler's decision core: a pure, single-threaded data structure the
+// Manager drives under its mutex. Keeping the policy free of goroutines,
+// clocks and channels makes it exhaustively unit-testable — for a fixed
+// sequence of add/decide/onBoundary/requeue/remove calls the decisions are
+// fully deterministic, which is the contract the scheduler tests pin down.
+//
+// Model: the server owns `capacity` worker slots. A job occupies `budget`
+// slots while running. Admission picks waiting jobs by (priority desc,
+// passes asc, seq asc) — strict priority first, round-robin within a
+// priority level (passes counts completed leases), FIFO as the tie-break —
+// and backfills smaller jobs into slots a bigger waiter cannot use yet.
+// Preemption is cooperative and happens only at stage boundaries:
+//
+//   - Priority preemption: a strictly higher-priority waiter that cannot be
+//     admitted marks the newest lowest-priority running jobs as stopping;
+//     each victim checkpoints and requeues at its next boundary.
+//   - Fair share: a running job that has crossed `quantum` boundaries in
+//     its current lease yields — at its next boundary — to a waiting job of
+//     equal or higher priority that its slots would admit.
+//
+// A stopping job keeps its slots until it actually reaches a boundary and
+// checkpoints; decide never double-books slots that are only promised.
+
+import "sort"
+
+type schedState int
+
+const (
+	schedWaiting schedState = iota
+	schedRunning
+	schedStopping // running, but told to checkpoint-and-stop at the next boundary
+)
+
+type schedEntry struct {
+	id       string
+	seq      int // submission order, the final FIFO tie-break
+	priority int // higher wins
+	budget   int // worker slots occupied while running
+
+	state      schedState
+	passes     int // completed leases; round-robin key within a priority
+	boundaries int // stage boundaries crossed in the current lease
+}
+
+type sched struct {
+	capacity int
+	quantum  int // boundaries per lease before a job must yield to peers
+	entries  map[string]*schedEntry
+}
+
+func newSched(capacity, quantum int) *sched {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &sched{capacity: capacity, quantum: quantum, entries: map[string]*schedEntry{}}
+}
+
+// add registers a job as waiting. The budget is clamped to [1, capacity] so
+// every job is runnable.
+func (s *sched) add(id string, seq, priority, budget int) {
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > s.capacity {
+		budget = s.capacity
+	}
+	s.entries[id] = &schedEntry{id: id, seq: seq, priority: priority, budget: budget}
+}
+
+// remove forgets a job (terminal state, or paused out of the scheduler).
+func (s *sched) remove(id string) { delete(s.entries, id) }
+
+// has reports whether the job is currently scheduled.
+func (s *sched) has(id string) bool { _, ok := s.entries[id]; return ok }
+
+// requeue puts a preempted job back in the waiting line behind its
+// equal-priority peers (its pass count grows, so round-robin order rotates).
+func (s *sched) requeue(id string) {
+	if e := s.entries[id]; e != nil {
+		e.state = schedWaiting
+		e.passes++
+		e.boundaries = 0
+	}
+}
+
+// stop marks a running job to checkpoint-and-stop at its next boundary
+// (an explicit pause request arriving from outside the policy).
+func (s *sched) stop(id string) {
+	if e := s.entries[id]; e != nil && e.state == schedRunning {
+		e.state = schedStopping
+	}
+}
+
+// used returns the slots held by running and stopping jobs; stopping jobs
+// still occupy theirs until they reach a boundary.
+func (s *sched) used() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.state != schedWaiting {
+			n += e.budget
+		}
+	}
+	return n
+}
+
+// pendingFree returns the slots that stopping jobs will release.
+func (s *sched) pendingFree() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.state == schedStopping {
+			n += e.budget
+		}
+	}
+	return n
+}
+
+func (s *sched) waiting() []*schedEntry {
+	var w []*schedEntry
+	for _, e := range s.entries {
+		if e.state == schedWaiting {
+			w = append(w, e)
+		}
+	}
+	sort.Slice(w, func(i, j int) bool {
+		a, b := w[i], w[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		if a.passes != b.passes {
+			return a.passes < b.passes
+		}
+		return a.seq < b.seq
+	})
+	return w
+}
+
+// decide admits waiting jobs into free slots and triggers priority
+// preemption for those that cannot fit. Admitted jobs are marked running
+// and returned; the caller launches their segments. Victims are marked
+// stopping in place — their segments observe that at the next boundary.
+func (s *sched) decide() (start []string) {
+	free := s.capacity - s.used()
+	pending := s.pendingFree()
+	for _, w := range s.waiting() {
+		if w.budget <= free {
+			w.state = schedRunning
+			w.boundaries = 0
+			free -= w.budget
+			start = append(start, w.id)
+			continue
+		}
+		if w.budget <= free+pending {
+			continue // already-promised slots cover it; just wait
+		}
+		// Preempt strictly lower-priority running jobs, newest first, until
+		// the promised slots cover this waiter. If even preempting them all
+		// would not help, leave them running and let a smaller waiter
+		// backfill instead.
+		var victims []*schedEntry
+		reclaim := 0
+		for _, v := range s.runningBelow(w.priority) {
+			victims = append(victims, v)
+			reclaim += v.budget
+			if w.budget <= free+pending+reclaim {
+				break
+			}
+		}
+		if w.budget <= free+pending+reclaim {
+			for _, v := range victims {
+				v.state = schedStopping
+				pending += v.budget
+			}
+		}
+	}
+	return start
+}
+
+// runningBelow lists running (not yet stopping) jobs with priority strictly
+// below p, in preemption order: lowest priority first, newest submission
+// first within a priority.
+func (s *sched) runningBelow(p int) []*schedEntry {
+	var r []*schedEntry
+	for _, e := range s.entries {
+		if e.state == schedRunning && e.priority < p {
+			r = append(r, e)
+		}
+	}
+	sort.Slice(r, func(i, j int) bool {
+		a, b := r[i], r[j]
+		if a.priority != b.priority {
+			return a.priority < b.priority
+		}
+		return a.seq > b.seq
+	})
+	return r
+}
+
+// onBoundary records that a running job crossed a stage boundary and
+// reports whether it must checkpoint-and-stop there: either it was already
+// marked stopping (pause or priority preemption), or its lease expired and
+// an equal-or-higher-priority waiter can use the slots it would free.
+func (s *sched) onBoundary(id string) (stopNow bool) {
+	e := s.entries[id]
+	if e == nil || e.state == schedWaiting {
+		return false
+	}
+	if e.state == schedStopping {
+		return true
+	}
+	e.boundaries++
+	if e.boundaries < s.quantum {
+		return false
+	}
+	free := s.capacity - s.used()
+	for _, w := range s.waiting() {
+		if w.priority >= e.priority && w.budget <= free+e.budget {
+			e.state = schedStopping
+			return true
+		}
+	}
+	e.boundaries = 0 // nobody can use the slots; start a fresh lease
+	return false
+}

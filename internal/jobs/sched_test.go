@@ -1,0 +1,215 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drive runs decide and returns the started IDs (nil-safe for asserts).
+func drive(t *testing.T, s *sched) []string {
+	t.Helper()
+	return s.decide()
+}
+
+func usedSlots(s *sched) int { return s.used() }
+
+func TestSchedAdmitsInPriorityThenFIFOOrder(t *testing.T) {
+	s := newSched(4, 4)
+	s.add("a", 1, 0, 2)
+	s.add("b", 2, 5, 2)
+	s.add("c", 3, 0, 2)
+	got := drive(t, s)
+	// b outranks both; a beats c on submission order; c fills the rest.
+	want := []string{"b", "a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decide() = %v, want %v", got, want)
+	}
+	if usedSlots(s) != 4 {
+		t.Fatalf("used = %d, want 4", usedSlots(s))
+	}
+	if got := drive(t, s); got != nil {
+		t.Fatalf("second decide started %v with a full pool", got)
+	}
+}
+
+func TestSchedBackfillsSmallJobPastBigWaiter(t *testing.T) {
+	s := newSched(4, 4)
+	s.add("big", 1, 0, 3)
+	got := drive(t, s)
+	if !reflect.DeepEqual(got, []string{"big"}) {
+		t.Fatalf("decide() = %v", got)
+	}
+	// "huge" (same priority) cannot fit in the single free slot and must not
+	// preempt an equal-priority job; "small" backfills behind it.
+	s.add("huge", 2, 0, 4)
+	s.add("small", 3, 0, 1)
+	got = drive(t, s)
+	if !reflect.DeepEqual(got, []string{"small"}) {
+		t.Fatalf("decide() = %v, want [small]", got)
+	}
+	if s.entries["big"].state != schedRunning {
+		t.Fatalf("equal-priority waiter preempted the running job")
+	}
+}
+
+func TestSchedPriorityPreemptionOrderIsDeterministic(t *testing.T) {
+	// Fixed submission sequence; the preemption victims and their order must
+	// be reproducible: lowest priority first, newest submission first within
+	// a priority level.
+	s := newSched(4, 4)
+	s.add("low-old", 1, -1, 2)
+	s.add("low-new", 2, -1, 2)
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"low-old", "low-new"}) {
+		t.Fatalf("setup decide() = %v", got)
+	}
+	s.add("urgent", 3, 9, 3)
+	if got := drive(t, s); got != nil {
+		t.Fatalf("urgent started before slots freed: %v", got)
+	}
+	// Both low jobs must be stopping (3 slots needed, each frees only 2),
+	// and low-new (newest) was chosen first — visible once low-new alone
+	// has freed its slots but urgent still cannot start.
+	if s.entries["low-new"].state != schedStopping || s.entries["low-old"].state != schedStopping {
+		t.Fatalf("victims = (%v, %v), want both stopping",
+			s.entries["low-new"].state, s.entries["low-old"].state)
+	}
+	// Victims reach their boundaries and requeue; urgent takes the pool.
+	if !s.onBoundary("low-new") || !s.onBoundary("low-old") {
+		t.Fatalf("stopping jobs did not stop at their boundary")
+	}
+	s.requeue("low-new")
+	s.requeue("low-old")
+	// urgent (3 slots) starts; the requeued low jobs (2 each) cannot fit in
+	// the remaining slot and must not re-preempt it.
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"urgent"}) {
+		t.Fatalf("post-preemption decide() = %v, want [urgent]", got)
+	}
+	if s.entries["urgent"].state != schedRunning {
+		t.Fatalf("urgent not running after preemption completed")
+	}
+}
+
+func TestSchedPreemptionIsStrictPriorityOnly(t *testing.T) {
+	s := newSched(2, 4)
+	s.add("a", 1, 0, 2)
+	drive(t, s)
+	s.add("b", 2, 0, 2) // equal priority: must wait for the quantum, not preempt
+	if got := drive(t, s); got != nil {
+		t.Fatalf("equal-priority waiter started %v via preemption", got)
+	}
+	if s.entries["a"].state != schedRunning {
+		t.Fatalf("equal-priority waiter preempted a")
+	}
+}
+
+func TestSchedFairShareYieldAfterQuantum(t *testing.T) {
+	s := newSched(2, 3)
+	s.add("a", 1, 0, 2)
+	drive(t, s)
+	s.add("b", 2, 0, 2)
+	// a runs its full lease untouched, then must yield to its peer.
+	for i := 0; i < 2; i++ {
+		if s.onBoundary("a") {
+			t.Fatalf("a stopped at boundary %d, before its quantum of 3", i+1)
+		}
+	}
+	if !s.onBoundary("a") {
+		t.Fatalf("a did not yield at its quantum boundary with a peer waiting")
+	}
+	s.requeue("a")
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("decide() after yield = %v, want [b]", got)
+	}
+	// Round-robin: when b's lease expires, a (1 pass) is waiting and b
+	// yields back.
+	for i := 0; i < 2; i++ {
+		if s.onBoundary("b") {
+			t.Fatalf("b stopped early at boundary %d", i+1)
+		}
+	}
+	if !s.onBoundary("b") {
+		t.Fatalf("b did not yield back to a")
+	}
+	s.requeue("b")
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("decide() = %v, want [a] (round-robin)", got)
+	}
+}
+
+func TestSchedNoYieldWithoutEligibleWaiter(t *testing.T) {
+	s := newSched(2, 2)
+	s.add("a", 1, 5, 2)
+	drive(t, s)
+	s.add("low", 2, 0, 2) // strictly lower priority: never worth yielding to
+	for i := 0; i < 10; i++ {
+		if s.onBoundary("a") {
+			t.Fatalf("high-priority job yielded to a lower-priority waiter at boundary %d", i+1)
+		}
+	}
+	// And with nothing waiting at all, leases renew forever.
+	s.remove("low")
+	for i := 0; i < 10; i++ {
+		if s.onBoundary("a") {
+			t.Fatalf("job yielded with an empty queue")
+		}
+	}
+}
+
+func TestSchedBudgetsNeverExceedCapacity(t *testing.T) {
+	// Deterministic stress: a fixed interleaving of submissions, boundaries
+	// and requeues must keep used() within capacity at every step.
+	s := newSched(3, 2)
+	check := func(step string) {
+		if u := s.used(); u > s.capacity {
+			t.Fatalf("%s: used %d > capacity %d", step, u, s.capacity)
+		}
+	}
+	ids := []string{"a", "b", "c", "d", "e"}
+	for i, id := range ids {
+		s.add(id, i+1, i%2, 1+i%3) // budgets 1,2,3,1,2; priorities alternate
+		drive(t, s)
+		check("add " + id)
+	}
+	for round := 0; round < 6; round++ {
+		for _, id := range ids {
+			if !s.has(id) {
+				continue
+			}
+			if s.entries[id].state != schedWaiting && s.onBoundary(id) {
+				s.requeue(id)
+			}
+			drive(t, s)
+			check(id)
+		}
+	}
+	// Draining jobs frees their slots for the rest.
+	s.remove("c")
+	s.remove("e")
+	drive(t, s)
+	check("drain")
+}
+
+func TestSchedBudgetClampedToCapacity(t *testing.T) {
+	s := newSched(2, 4)
+	s.add("wide", 1, 0, 99)
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"wide"}) {
+		t.Fatalf("over-budget job never admitted: %v", got)
+	}
+	if usedSlots(s) != 2 {
+		t.Fatalf("used = %d, want clamp to capacity 2", usedSlots(s))
+	}
+}
+
+func TestSchedRemoveReleasesSlots(t *testing.T) {
+	s := newSched(2, 4)
+	s.add("a", 1, 0, 2)
+	drive(t, s)
+	s.add("b", 2, 0, 2)
+	if got := drive(t, s); got != nil {
+		t.Fatalf("b started while a held the pool: %v", got)
+	}
+	s.remove("a") // cancelled mid-run: slots come back immediately
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("decide() after remove = %v, want [b]", got)
+	}
+}

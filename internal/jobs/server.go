@@ -1,0 +1,217 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/dashboard"
+)
+
+// Server is the HTTP/JSON face of a Manager. Endpoints:
+//
+//	POST /jobs                submit a Spec, returns {"id": ...}
+//	GET  /jobs                list all jobs (JobView array)
+//	GET  /jobs/{id}           one job's JobView
+//	POST /jobs/{id}/pause     park the job at its next stage boundary
+//	POST /jobs/{id}/resume    re-queue a paused job
+//	POST /jobs/{id}/cancel    abort the job
+//	GET  /jobs/{id}/events    SSE: the job's telemetry stream — full backlog,
+//	                          then the live tail, `event: eof` when the job
+//	                          goes terminal
+//	GET  /jobs/{id}/trace     the canonical JSONL trace file as written so far
+//	GET  /jobs/{id}/placement the final placement (designio format; done jobs)
+//	GET  /jobs/{id}/dashboard/  the live dashboard page for this job
+//	GET  /healthz             liveness probe
+//
+// Every byte a client streams or downloads is served from the same hub and
+// files that carry the canonical trace, so what the API shows is exactly
+// what the byte-identity contract covers.
+type Server struct {
+	m *Manager
+}
+
+// NewServer wraps a Manager.
+func NewServer(m *Manager) *Server { return &Server{m: m} }
+
+// Handler returns the server's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.get)
+	mux.HandleFunc("POST /jobs/{id}/pause", s.control((*Manager).Pause))
+	mux.HandleFunc("POST /jobs/{id}/resume", s.control((*Manager).Resume))
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.control((*Manager).Cancel))
+	mux.HandleFunc("GET /jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.trace)
+	mux.HandleFunc("GET /jobs/{id}/placement", s.placement)
+	mux.HandleFunc("GET /jobs/{id}/dashboard/", s.dashboard)
+	return mux
+}
+
+// fail maps manager errors onto HTTP statuses.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSuchJob):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBadTransition):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxPayloadBytes+1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.m.Submit(spec)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"id": id})
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.m.List())
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	v, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, v)
+}
+
+// control adapts a Manager state-transition method into a handler.
+func (s *Server) control(op func(*Manager, string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := op(s.m, id); err != nil {
+			fail(w, err)
+			return
+		}
+		v, err := s.m.Get(id)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, v)
+	}
+}
+
+// events streams the job's trace over SSE, exactly like the dashboard's
+// /events: backlog first (gap-free), then the live tail; `event: eof` when
+// the hub closes — for a terminal job that happens right after the backlog.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	hub, err := s.m.Hub(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	send := func(line []byte) bool {
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
+		}
+		if _, werr := fmt.Fprintf(w, "data: %s\n\n", line); werr != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	backlog, sub := hub.Subscribe(1024)
+	defer sub.Close()
+	for _, line := range backlog {
+		if !send(line) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line, chOK := <-sub.C():
+			if !chOK {
+				fmt.Fprint(w, "event: eof\ndata: {}\n\n")
+				fl.Flush()
+				return
+			}
+			if !send(line) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	path, err := s.m.TracePath(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	http.ServeFile(w, r, path)
+}
+
+func (s *Server) placement(w http.ResponseWriter, r *http.Request) {
+	path, err := s.m.PlacementPath(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	http.ServeFile(w, r, path)
+}
+
+// dashboard mounts the shared live dashboard under the job's prefix. The
+// dashboard is a thin stateless view over the hub, so constructing one per
+// request is free; its page uses relative URLs, which is what makes the
+// StripPrefix mount work.
+func (s *Server) dashboard(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	hub, err := s.m.Hub(id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	view, err := s.m.Get(id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	title := fmt.Sprintf("%s — %s (job %s)", view.Design, view.Mode, id)
+	h := http.StripPrefix(fmt.Sprintf("/jobs/%s/dashboard", id),
+		dashboard.NewServer(hub, title).Handler())
+	h.ServeHTTP(w, r)
+}

@@ -1,0 +1,106 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// errTraceShort reports that a trace file holds fewer complete lines than a
+// checkpoint's TraceSeq claims were emitted before it — the checkpoint and
+// the trace disagree, so a migration cannot be byte-exact and the job must
+// restart from scratch.
+var errTraceShort = errors.New("jobs: trace shorter than checkpoint's event count")
+
+// truncateTrace cuts the JSONL trace at path down to its first n complete
+// lines and returns them (each with its trailing newline). This is the
+// crash-migration fix-up: a killed worker may have appended events past the
+// checkpoint it will be resumed from (and a torn final line), all of which
+// the resumed run re-emits — keeping them would duplicate the tail. n comes
+// from core.CheckpointInfo.TraceSeq: the observer assigns sequence numbers
+// from 0, so exactly the first n lines precede the checkpoint.
+//
+// The rewrite is atomic (tmp + rename); when the file already has exactly n
+// lines it is left untouched. Fewer than n complete lines fails with
+// errTraceShort.
+func truncateTrace(path string, n int64) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && n == 0 {
+			return nil, nil
+		}
+		return nil, err
+	}
+	keep := 0 // byte length of the first n complete lines
+	var lines [][]byte
+	for int64(len(lines)) < n {
+		nl := bytes.IndexByte(data[keep:], '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("%w: %d of %d", errTraceShort, len(lines), n)
+		}
+		line := make([]byte, nl+1)
+		copy(line, data[keep:keep+nl+1])
+		lines = append(lines, line)
+		keep += nl + 1
+	}
+	if keep == len(data) {
+		return lines, nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data[:keep], 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
+// readTraceLines returns the complete lines of a trace file (a torn final
+// line, possible after a crash on a terminal-state job, is dropped). Used to
+// seed the hub of a recovered job so SSE and dashboard replays still see the
+// full stream.
+func readTraceLines(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var lines [][]byte
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break
+		}
+		line := make([]byte, nl+1)
+		copy(line, data[:nl+1])
+		lines = append(lines, line)
+		data = data[nl+1:]
+	}
+	return lines, nil
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so readers (and a recovering manager) never observe a partial
+// file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(name)
+		return werr
+	}
+	return os.Rename(name, path)
+}

@@ -95,6 +95,7 @@ func (o *Observer) CaptureState() *ObserverState {
 		h.mu.Unlock()
 		st.Metrics = append(st.Metrics, m)
 	}
+	r.mu.Unlock()
 	sortMetricStates(st.Metrics)
 	return st
 }

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestCaptureStateRepeatedly pins the supervisor usage pattern: a job
+// server captures the observer at EVERY stage boundary (periodic durability
+// checkpoints), so capture must leave every lock released and the observer
+// fully usable — metrics registry included. A capture that leaks the
+// registry lock deadlocks the second capture (regression: CaptureState once
+// returned without unlocking Registry.mu).
+func TestCaptureStateRepeatedly(t *testing.T) {
+	var buf bytes.Buffer
+	obs := NewObserver(&buf)
+	obs.Metrics.Counter("events").Add(3)
+	obs.Metrics.Gauge("hpwl").Set(42)
+	obs.Metrics.Histogram("step").Observe(1.5)
+
+	done := make(chan []*ObserverState, 1)
+	go func() {
+		var states []*ObserverState
+		for i := 0; i < 5; i++ {
+			states = append(states, obs.CaptureState())
+			// The observer must stay fully usable between captures.
+			obs.Metrics.Counter("events").Add(1)
+			obs.Metrics.Gauge("hpwl").Set(float64(i))
+		}
+		done <- states
+	}()
+	var states []*ObserverState
+	select {
+	case states = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("repeated CaptureState deadlocked")
+	}
+	for i, st := range states {
+		if len(st.Metrics) != 3 {
+			t.Fatalf("capture %d saw %d metrics, want 3", i, len(st.Metrics))
+		}
+	}
+	// Counter progression proves each capture was a distinct live snapshot.
+	first, last := states[0], states[4]
+	if first.Metrics[0].Counter != 3 || last.Metrics[0].Counter != 7 {
+		t.Fatalf("counter snapshots = %d..%d, want 3..7",
+			first.Metrics[0].Counter, last.Metrics[0].Counter)
+	}
+	if err := obs.Flush(); err != nil {
+		t.Fatalf("flush after captures: %v", err)
+	}
+}
+
+// TestHubSeedReplaysWithoutCanonicalWrite checks the recovered-job path:
+// seeded lines reach future subscribers via the backlog but are never
+// re-written to the canonical sink or broadcast to anyone.
+func TestHubSeedReplaysWithoutCanonicalWrite(t *testing.T) {
+	var sink bytes.Buffer
+	hub := NewHub(&sink)
+	hub.Seed([][]byte{[]byte("{\"seq\":0}\n"), []byte("{\"seq\":1}\n")})
+	if sink.Len() != 0 {
+		t.Fatalf("seed wrote %d bytes to the canonical sink", sink.Len())
+	}
+	backlog, sub := hub.Subscribe(4)
+	defer sub.Close()
+	if len(backlog) != 2 || string(backlog[0]) != "{\"seq\":0}\n" {
+		t.Fatalf("backlog after seed = %q", backlog)
+	}
+	// Live writes still pass through and append after the seeded prefix.
+	if _, err := hub.Write([]byte("{\"seq\":2}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "{\"seq\":2}\n" {
+		t.Fatalf("canonical sink = %q, want only the live line", sink.String())
+	}
+	select {
+	case line := <-sub.C():
+		if string(line) != "{\"seq\":2}\n" {
+			t.Fatalf("subscriber got %q", line)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("live line never reached the subscriber")
+	}
+}

@@ -92,6 +92,22 @@ func (h *Hub) Subscribe(buffer int) ([][]byte, *Subscription) {
 	return backlog, s
 }
 
+// Seed appends lines to the backlog WITHOUT writing them to the canonical
+// sink or broadcasting them. It is the replay path for a hub reconstructed
+// over an existing trace file (a job server restarting over its state
+// directory): the on-disk lines are already canonical, so they only need to
+// reach future subscribers. Call before the first Subscribe; seeding a hub
+// with live subscribers would let them miss the seeded lines.
+func (h *Hub) Seed(lines [][]byte) {
+	h.mu.Lock()
+	for _, line := range lines {
+		cp := make([]byte, len(line))
+		copy(cp, line)
+		h.backlog = append(h.backlog, cp)
+	}
+	h.mu.Unlock()
+}
+
 // Backlog returns a copy of every line written so far.
 func (h *Hub) Backlog() [][]byte {
 	h.mu.Lock()

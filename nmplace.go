@@ -154,6 +154,38 @@ func ResumeFile(ctx context.Context, d *Design, path string, opt Options) (*Resu
 	return core.ResumeFromFile(ctx, d, path, opt)
 }
 
+// BoundaryAction is the verdict of an Options.BoundaryHook at a pipeline
+// stage boundary. Supervisors (schedulers, job servers) use the hook to
+// preempt runs at well-defined points: BoundaryStop writes a scheduled
+// checkpoint and returns ErrCheckpointed, exactly like CheckpointAfter;
+// BoundaryCheckpoint persists state and continues (a durability snapshot);
+// BoundaryContinue does nothing. See cmd/placed for a full supervisor built
+// on this hook.
+type BoundaryAction = core.BoundaryAction
+
+// BoundaryAction values for Options.BoundaryHook.
+const (
+	BoundaryContinue   = core.BoundaryContinue
+	BoundaryCheckpoint = core.BoundaryCheckpoint
+	BoundaryStop       = core.BoundaryStop
+)
+
+// CheckpointInfo describes a checkpoint file without loading the full state:
+// the pipeline cursor (Stage, Iter, Step), the run's total route-iteration
+// budget and TraceSeq — the number of telemetry events emitted when the
+// checkpoint was captured. After a crash, exactly the first TraceSeq trace
+// lines belong before the checkpoint; truncating the trace there and
+// resuming reproduces the uninterrupted run byte for byte.
+type CheckpointInfo = core.CheckpointInfo
+
+// InspectCheckpoint reads a checkpoint's header/cursor from path. A file
+// that fails its integrity check returns ErrCheckpointCorrupt (the .prev
+// sibling, if any, must be inspected by the caller — unlike ResumeFile this
+// function does not fall back).
+func InspectCheckpoint(path string) (CheckpointInfo, error) {
+	return core.InspectCheckpoint(path)
+}
+
 // GuardConfig configures the numeric guardrails on Options.Guard. The zero
 // value (policy GuardOff) disables all scans; see internal/guard and
 // DESIGN.md §9 for the failure model.
