@@ -36,18 +36,29 @@ import (
 // one design per family spanning hot and calm routability regimes.
 var benchDesigns = []string{"fft_b", "des_perf_1", "pci_bridge32_a", "matrix_mult_b"}
 
-// runBenchSuite places every benchDesigns entry in ModeOurs into obs,
-// recording the per-design headline metrics as gauges alongside the shared
-// pipeline counters. Shared by the baseline writer and the regression gate
-// so both measure exactly the same run.
+// largeBench is the multilevel large-design leg of the bench suite:
+// superblue1_big (100k cells) through the Levels=3 clustered flow with a
+// bounded iteration budget — enough to exercise coarsening, interpolation
+// and the full finest level end-to-end while keeping the gate tractable.
+var largeBench = struct {
+	design                  string
+	levels, wlIters, rIters int
+}{"superblue1_big", 3, 120, 3}
+
+// runBenchSuite places every benchDesigns entry in ModeOurs into obs, then
+// the largeBench multilevel leg, recording the per-design headline metrics
+// as gauges alongside the shared pipeline counters. Shared by the baseline
+// writer and the regression gate so both measure exactly the same run.
 func runBenchSuite(t *testing.T, obs *telemetry.Observer) {
 	t.Helper()
-	for _, name := range benchDesigns {
+	record := func(name string, opt core.Options) {
 		d, err := synth.Generate(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt := core.Options{Mode: core.ModeOurs, Tech: core.AllTechniques(), Observer: obs}
+		opt.Mode = core.ModeOurs
+		opt.Tech = core.AllTechniques()
+		opt.Observer = obs
 		res, err := core.Place(d, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -58,6 +69,14 @@ func runBenchSuite(t *testing.T, obs *telemetry.Observer) {
 		obs.Gauge(fmt.Sprintf("bench.%s.hpwl", name)).Set(res.HPWLFinal)
 		obs.Gauge(fmt.Sprintf("bench.%s.route_iters", name)).Set(float64(res.RouteIters))
 	}
+	for _, name := range benchDesigns {
+		record(name, core.Options{})
+	}
+	record(largeBench.design, core.Options{
+		Levels:        largeBench.levels,
+		MaxWLIters:    largeBench.wlIters,
+		MaxRouteIters: largeBench.rIters,
+	})
 }
 
 // TestWriteBenchBaseline regenerates BENCH_baseline.json: the telemetry
@@ -84,7 +103,8 @@ func TestWriteBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	label := fmt.Sprintf("mode=ours designs=%v", benchDesigns)
+	label := fmt.Sprintf("mode=ours designs=%v large=%s(levels=%d,wl=%d,r=%d)",
+		benchDesigns, largeBench.design, largeBench.levels, largeBench.wlIters, largeBench.rIters)
 	if err := telemetry.WriteBaseline(f, label, obs.Metrics); err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +403,10 @@ func BenchmarkParallelPoisson(b *testing.B) {
 	}
 	for _, w := range benchWorkerCounts {
 		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
-			s := poisson.NewSolver(n, n)
+			s, err := poisson.NewSolver(n, n)
+			if err != nil {
+				b.Fatal(err)
+			}
 			s.Workers = w
 			g := s.NewGrid()
 			b.ResetTimer()

@@ -30,13 +30,26 @@
 //	                   context path)
 //	-checkpoint-after p  stop once pipeline point p completes ("setup",
 //	                   "wirelength", "routability", "legalize", "detailed"
-//	                   or "route_iter:K"); exits 0 with the state saved
+//	                   or "route_iter:K"; with -levels ≥ 2, coarse-level
+//	                   points carry an "L<k>/" prefix, e.g. "L1/wirelength");
+//	                   exits 0 with the state saved
 //	-resume            continue the run saved in -checkpoint instead of
 //	                   starting fresh (same -design; the checkpoint is
 //	                   authoritative for the run-defining options)
 //	-timeout d         cancel the run after duration d (e.g. 30s)
 //	-out f             write the final placement to f in the designio
 //	                   text format (only on a completed run)
+//
+// Scaling flags:
+//
+//	-levels n          multilevel clustered placement (DESIGN.md §12): the
+//	                   design is coarsened n−1 times, placed coarsest-first
+//	                   and interpolated down. 0/1 = flat. Results stay
+//	                   byte-identical for any -workers value
+//	-cluster-max-size  cap on base cells per cluster (0 = auto, <0 = none)
+//	-wliters n         cap phase-1 wirelength iterations (0 = default 400);
+//	                   with -riters, bounds the per-level work on the
+//	                   *_big designs (see README "Scaling to 1M cells")
 //
 // Robustness flags:
 //
@@ -94,6 +107,9 @@ func run() (code int) {
 	dc := flag.Bool("dc", true, "differentiable congestion / net moving (ours mode)")
 	dpa := flag.Bool("dpa", true, "dynamic pin accessibility (ours mode)")
 	riters := flag.Int("riters", 0, "max routability iterations (0 = default)")
+	wliters := flag.Int("wliters", 0, "max phase-1 wirelength iterations (0 = default)")
+	levels := flag.Int("levels", 0, "multilevel clustered placement levels (0/1 = flat; ≥2 coarsens the design and places coarsest-first)")
+	clusterMax := flag.Int("cluster-max-size", 0, "max base cells per cluster across the hierarchy (0 = auto 4^(levels-1), negative = no cap)")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
 	tracePath := flag.String("trace", "", "write a JSONL telemetry trace to this file (- for stdout)")
 	metrics := flag.Bool("metrics", false, "print stage timings and the metrics registry")
@@ -131,7 +147,8 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	opt := core.Options{GridHint: *grid, MaxRouteIters: *riters, Workers: *workers,
+	opt := core.Options{GridHint: *grid, MaxRouteIters: *riters, MaxWLIters: *wliters, Workers: *workers,
+		Levels: *levels, ClusterMaxSize: *clusterMax,
 		Tech:           core.Techniques{MCI: *mci, DC: *dc, DPA: *dpa},
 		CheckpointPath: *ckptPath, CheckpointAfter: *ckptAfter,
 		Guard: guard.Config{Policy: guardPolicy, MaxRetries: *guardRetries}}

@@ -3,6 +3,9 @@
 // timing table from the span tree, ASCII convergence sparklines for every
 // snapshot series (density overflow, overflow score, λ₁, λ₂, γ, inflation
 // ratios, …) and the final metrics dump (histograms with p50/p95/p99).
+// Traces from multilevel runs (placer -levels N) carry "L<k>/"-prefixed
+// stage names; the timing table is then split into one sub-table per
+// hierarchy level, coarsest first, in the order the levels executed.
 // Malformed trace lines are reported to stderr with file:line context and
 // skipped — one truncated write never hides the rest of the report.
 //

@@ -71,12 +71,18 @@ type Stats struct {
 
 // New creates a congestion model for the design on the routing grid.
 func New(d *netlist.Design, g *route.Grid) *Model {
+	solver, err := poisson.NewSolver(g.NX, g.NY)
+	if err != nil {
+		// route.NewGrid produces power-of-two dimensions by construction; a
+		// failure here is a programming error, not a caller mistake.
+		panic(err)
+	}
 	m := &Model{
 		UtilThreshold: 0.7,
 		MaxLeverage:   4.0,
 		d:             d,
 		g:             g,
-		solver:        poisson.NewSolver(g.NX, g.NY),
+		solver:        solver,
 		rho:           make([]float64, g.NX*g.NY),
 		avgPins:       d.AvgPinsPerCell(),
 	}

@@ -113,6 +113,24 @@ type Options struct {
 	// default, a negative value selects zero patience.
 	CongestionPatience int
 
+	// Levels enables the multilevel clustered flow: the design is coarsened
+	// Levels−1 times by internal/cluster, placed coarsest-first, and each
+	// solution is interpolated down to seed the next finer level. 0 or 1
+	// runs the flat single-level pipeline (the default). Coarse levels run
+	// global placement only (no legalization/detailed/eval) with a grid
+	// auto-sized from the coarse cell count; the finest level runs the full
+	// pipeline under the caller's options. Every Workers setting still
+	// produces byte-identical placements, and checkpoint/resume works at any
+	// level (boundary points gain an "L<k>/" prefix on coarse levels, e.g.
+	// "L2/wirelength", "L1/route_iter:3").
+	Levels int
+	// ClusterMaxSize caps the number of base cells a cluster may absorb
+	// across the whole hierarchy (see cluster.Coarsen). Only meaningful with
+	// Levels ≥ 2. Sentinel convention: 0 selects the default 4^(Levels−1)
+	// (each level targets a ~4× reduction), a negative value removes the
+	// cap entirely.
+	ClusterMaxSize int
+
 	// CheckpointPath, when non-empty, is where the run writes its state
 	// checkpoint: at the scheduled CheckpointAfter point, or — on context
 	// cancellation — at the last consistent pipeline position reached. The
@@ -205,8 +223,12 @@ func DefaultGridHint(numCells int) int {
 		return 32
 	case numCells <= 8000:
 		return 64
-	default:
+	case numCells <= 80000:
 		return 128
+	case numCells <= 400000:
+		return 256
+	default:
+		return 512
 	}
 }
 
@@ -234,6 +256,13 @@ func (o *Options) setDefaults(numCells int) {
 		o.CongestionPatience = 4
 	} else if o.CongestionPatience < 0 {
 		o.CongestionPatience = 0
+	}
+	if o.Levels > 1 {
+		if o.ClusterMaxSize == 0 {
+			o.ClusterMaxSize = 1 << (2 * (o.Levels - 1)) // 4^(Levels−1)
+		} else if o.ClusterMaxSize < 0 {
+			o.ClusterMaxSize = 0 // no cap
+		}
 	}
 	if o.Guard.Enabled() {
 		o.Guard.SetDefaults()

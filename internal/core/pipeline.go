@@ -170,6 +170,13 @@ type PlacementState struct {
 	stall       int
 	bestX       []float64 // placement with the lowest weighted congestion
 
+	// Multilevel context (see multilevel.go): nil on a flat run. level is
+	// the hierarchy level this state places (0 = the original design); ml
+	// carries the cluster maps and the outer run identity shared by every
+	// level of one multilevel run.
+	level int
+	ml    *mlRun
+
 	// Guard layer (see guard.go): nil unless Options.Guard is enabled.
 	grd *guardRuntime
 	// ckptWrites counts checkpoint files written; it indexes the
@@ -223,6 +230,9 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt Options) (*Result,
 	if err := validatePlaceable(d); err != nil {
 		return nil, err
 	}
+	if opt.Levels > 1 {
+		return placeMultilevel(ctx, d, opt)
+	}
 	ps := &PlacementState{
 		D:   d,
 		Opt: opt,
@@ -236,6 +246,22 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt Options) (*Result,
 	return runPipeline(ctx, ps)
 }
 
+// pt maps a span/snapshot/boundary-point name onto this state's hierarchy
+// level: level 0 (and flat runs) use the bare name, coarse level k prefixes
+// "L<k>/" — so traces, stage timings and checkpoint points of different
+// levels never collide, and the flat pipeline's names are unchanged.
+func (ps *PlacementState) pt(name string) string {
+	if ps.level == 0 {
+		return name
+	}
+	return fmt.Sprintf("L%d/%s", ps.level, name)
+}
+
+// startSpan opens a span under the state's level prefix.
+func (ps *PlacementState) startSpan(name string) *telemetry.Span {
+	return ps.obs.StartSpan(ps.pt(name))
+}
+
 // validateCheckpointOpts rejects malformed checkpoint requests up front so
 // a long run cannot fail at its scheduled stop point.
 func validateCheckpointOpts(opt *Options) error {
@@ -246,6 +272,15 @@ func validateCheckpointOpts(opt *Options) error {
 		return fmt.Errorf("core: CheckpointAfter %q requires CheckpointPath", opt.CheckpointAfter)
 	}
 	spec := opt.CheckpointAfter
+	// Multilevel boundary points carry an "L<k>/" level prefix
+	// ("L2/wirelength", "L1/route_iter:0"); validate the bare point.
+	if rest, ok := strings.CutPrefix(spec, "L"); ok {
+		if lvl, point, found := strings.Cut(rest, "/"); found {
+			if n, err := strconv.Atoi(lvl); err == nil && n >= 1 {
+				spec = point
+			}
+		}
+	}
 	if k, ok := strings.CutPrefix(spec, "route_iter:"); ok {
 		n, err := strconv.Atoi(k)
 		if err != nil || n < 0 {
@@ -257,7 +292,7 @@ func validateCheckpointOpts(opt *Options) error {
 	case "setup", "wirelength", "routability", "legalize", "detailed":
 		return nil
 	}
-	return fmt.Errorf("core: unknown CheckpointAfter point %q", spec)
+	return fmt.Errorf("core: unknown CheckpointAfter point %q", opt.CheckpointAfter)
 }
 
 // runPipeline drives the stage sequence from ps.cur to completion.
@@ -290,7 +325,11 @@ func runPipeline(ctx context.Context, ps *PlacementState) (*Result, error) {
 			return ps.fail(err)
 		}
 	}
-	ps.finishTelemetry()
+	// Coarse multilevel levels are inner phases of one run: the end-of-run
+	// gauges and stage-timing collection belong to the finest level only.
+	if ps.level == 0 {
+		ps.finishTelemetry()
+	}
 	return ps.Res, nil
 }
 
@@ -315,7 +354,7 @@ func (ps *PlacementState) afterStage(name string) error {
 	case "eval":
 		return nil // terminal; no checkpoint point exists after eval
 	}
-	return ps.maybeCheckpoint(name)
+	return ps.maybeCheckpoint(ps.pt(name))
 }
 
 // maybeCheckpoint writes the scheduled checkpoint and stops the run when
@@ -374,9 +413,10 @@ func (ps *PlacementState) fail(err error) (*Result, error) {
 }
 
 // resumeSpanFor re-adopts the next restored open-span handle when its name
-// matches, so the resumed run closes it under its original span ID;
-// otherwise it starts a fresh span.
+// matches (under the state's level prefix), so the resumed run closes it
+// under its original span ID; otherwise it starts a fresh span.
 func (ps *PlacementState) resumeSpanFor(name string) *telemetry.Span {
+	name = ps.pt(name)
 	if len(ps.restored) > 0 && ps.restored[0].Name() == name {
 		sp := ps.restored[0]
 		ps.restored = ps.restored[1:]
@@ -492,8 +532,12 @@ func (setupStage) Run(ctx context.Context, ps *PlacementState) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sp := ps.obs.StartSpan("setup")
-	spreadInitial(ps.D)
+	sp := ps.startSpan("setup")
+	// The coarsest level spreads from scratch; every finer multilevel level
+	// starts from the interpolated coarse solution instead.
+	if ps.ml == nil || ps.level == ps.ml.topLevel {
+		spreadInitial(ps.D)
+	}
 	if err := ps.buildRuntime(); err != nil {
 		sp.End()
 		return err
@@ -512,7 +556,7 @@ func (wirelengthStage) Name() string { return "wirelength" }
 
 func (wirelengthStage) Run(ctx context.Context, ps *PlacementState) error {
 	opt, obs, res := &ps.Opt, ps.obs, ps.Res
-	p1 := obs.StartSpan("phase1_wirelength")
+	p1 := ps.startSpan("phase1_wirelength")
 	if ps.cur.iter == 0 {
 		opt.logf("phase 1: wirelength-driven placement (grid %dx%d, %d fillers)",
 			ps.dens.NX, ps.dens.NY, ps.dens.NumFillers())
@@ -537,7 +581,7 @@ func (wirelengthStage) Run(ctx context.Context, ps *PlacementState) error {
 		res.WLIters++
 		ps.cur = cursor{stage: "wirelength", iter: it + 1, step: -1}
 		if obs != nil {
-			obs.Snapshot("wl_iter", it,
+			obs.Snapshot(ps.pt("wl_iter"), it,
 				telemetry.F("wl", ps.obj.lastWL),
 				telemetry.F("dens_overflow", ps.obj.lastOverflow),
 				telemetry.F("lambda1", ps.obj.lambda1),
@@ -694,10 +738,10 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 				ps.cur = cursor{stage: "routability", iter: it, step: -1}
 				return err
 			}
-			itSp = obs.StartSpan("route_iter")
+			itSp = ps.startSpan("route_iter")
 			ps.obj.scatter(ps.optm.U())
 			ps.feedPositionDelta()
-			sp := obs.StartSpan("route")
+			sp := ps.startSpan("route")
 			rres, err := ps.rtr.RouteContext(ctx)
 			if err != nil {
 				sp.End()
@@ -722,7 +766,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 				it, wc, rres.MaxUtil, rres.OverflowCells)
 			if obs != nil {
 				inflMean, inflMax := inflationStats(ps.inf.Ratios())
-				obs.Snapshot("route_iter", it,
+				obs.Snapshot(ps.pt("route_iter"), it,
 					telemetry.F("hpwl", d.HPWL()),
 					telemetry.F("overflow_score", wc),
 					telemetry.F("max_util", rres.MaxUtil),
@@ -737,7 +781,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 				// trace tooling). Emitted only on fresh iterations — resumed
 				// runs skip committed iterations, keeping the trace
 				// continuation byte-exact.
-				obs.Grid("congestion", it, ps.grid.NX, ps.grid.NY, rres.Congestion)
+				obs.Grid(ps.pt("congestion"), it, ps.grid.NX, ps.grid.NY, rres.Congestion)
 			}
 
 			// Stop when C(x,y) no longer decreases (Fig. 2); remember the
@@ -762,7 +806,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 			}
 
 			// Momentum (or baseline) cell inflation.
-			sp = obs.StartSpan("inflate")
+			sp = ps.startSpan("inflate")
 			cellCongestion(d, rres.CongestionAt, ps.congAt)
 			aerr := ps.inf.Update(ps.congAt, rres.AvgCongestion())
 			if aerr == nil {
@@ -776,7 +820,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 
 			// Dynamic PG density (Eq. 13–15).
 			if ps.dynamicPG {
-				sp = obs.StartSpan("pg_density")
+				sp = ps.startSpan("pg_density")
 				pg, perr := pgrail.Density(ps.selected, ps.bins, rres.Congestion, rres.AvgCongestion())
 				if perr == nil {
 					perr = ps.dens.SetPGDensity(pg)
@@ -790,7 +834,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 
 			// Differentiable congestion term.
 			if ps.useCongTerm {
-				sp = obs.StartSpan("congestion_update")
+				sp = ps.startSpan("congestion_update")
 				ps.cong.Update(rres)
 				sp.End()
 				congUpdates.Inc()
@@ -803,7 +847,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 			// Resuming into a half-finished iteration (a cancellation
 			// landed between Nesterov steps): router and adaptation are
 			// already committed, pick up at the recorded step.
-			itSp = obs.StartSpan("route_iter")
+			itSp = ps.startSpan("route_iter")
 		}
 
 		// Nesterov steps on the updated objective. The problem changed
@@ -814,7 +858,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 		// target — compounding it unconditionally would let the density
 		// term drown the wirelength and congestion terms over a long
 		// routability loop.
-		sp := obs.StartSpan("nesterov")
+		sp := ps.startSpan("nesterov")
 		ps.obj.useCong = ps.useCongTerm
 		if freshAdapt {
 			ps.optm.Reset(ps.optm.U())
@@ -845,7 +889,7 @@ func (ps *PlacementState) routabilityLoop(ctx context.Context, p2 *telemetry.Spa
 		res.FinalOverflow = ps.obj.lastOverflow
 		itSp.End()
 		ps.cur = cursor{stage: "routability", iter: it + 1, step: -1}
-		if err := ps.maybeCheckpoint(fmt.Sprintf("route_iter:%d", it)); err != nil {
+		if err := ps.maybeCheckpoint(ps.pt(fmt.Sprintf("route_iter:%d", it))); err != nil {
 			return err
 		}
 	}
@@ -900,7 +944,7 @@ func (legalizeStage) Run(ctx context.Context, ps *PlacementState) error {
 	}
 	opt, res, d := &ps.Opt, ps.Res, ps.D
 	opt.logf("legalizing %d movable cells", len(d.MovableIndices()))
-	sp := ps.obs.StartSpan("legalize")
+	sp := ps.startSpan("legalize")
 	lg := legalize.New(d)
 	lg.Trace = ps.tr
 	backup := backupPositions(d)
@@ -932,7 +976,7 @@ func (detailedStage) Run(ctx context.Context, ps *PlacementState) error {
 		return nil
 	}
 	opt, d := &ps.Opt, ps.D
-	sp := ps.obs.StartSpan("detailed")
+	sp := ps.startSpan("detailed")
 	backup := backupPositions(d)
 	dp, err := detailed.RefineContext(ctx, d, detailed.Options{Passes: 2, Trace: ps.tr})
 	if err != nil {
@@ -953,9 +997,14 @@ type evalStage struct{}
 func (evalStage) Name() string { return "eval" }
 
 func (evalStage) Run(ctx context.Context, ps *PlacementState) error {
+	if ps.level > 0 {
+		// Coarse levels exist only to seed the next finer level; routing
+		// the cluster netlist would measure nothing the flow reports.
+		return nil
+	}
 	opt, res := &ps.Opt, ps.Res
 	rStart := time.Now()
-	esp := ps.obs.StartSpan("eval")
+	esp := ps.startSpan("eval")
 	m, err := eval.EvaluateContext(ctx, ps.D, opt.GridHint, ps.tr, opt.Workers)
 	if err != nil {
 		esp.End()

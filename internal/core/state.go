@@ -13,6 +13,7 @@ package core
 //
 //	nmckpt 2
 //	cursor <stage> <iter> <step>
+//	multilevel <levels> <clustermaxsize> <toplevel> <level> <levelcells>   (only multilevel runs)
 //	mode <int>
 //	tech <mci> <dc> <dpa> <alpha> <scheme|-> <thresh> <fixedl2> <vmid>
 //	opts <grid> <maxwl> <wlstop> <maxroute> <steps> <patience> <skipleg> <skipdet>
@@ -80,6 +81,15 @@ func corruptf(format string, args ...any) error {
 type checkpoint struct {
 	Cur cursor
 
+	// Multilevel run identity (Options.Levels ≥ 2). The design/opts records
+	// keep describing the ORIGINAL design and the caller's options; MLLevel
+	// pinpoints the hierarchy level the cursor (and CellPos) belong to, and
+	// MLCells its cell count, validated against the rebuilt hierarchy on
+	// resume. Flat runs serialize none of this, keeping their checkpoints
+	// byte-identical to the pre-multilevel format.
+	ML                                        bool
+	MLLevels, MLMaxW, MLTop, MLLevel, MLCells int
+
 	// Options fingerprint (post-setDefaults values; Workers/Log/Observer
 	// and the checkpoint fields themselves are intentionally absent — they
 	// may differ between the two run halves without affecting results).
@@ -143,6 +153,15 @@ type checkpoint struct {
 // is deep-copied; the checkpoint shares nothing with the live run.
 func (ps *PlacementState) capture() *checkpoint {
 	d, opt := ps.D, &ps.Opt
+	fingerD := d
+	if ps.ml != nil {
+		// A multilevel checkpoint is identified by the run the user started:
+		// the original design and the outer options. The level pipeline's
+		// derived options (coarse grid, skip flags) are reconstructed on
+		// resume, never serialized.
+		fingerD = ps.ml.orig
+		opt = &ps.ml.outer
+	}
 	ck := &checkpoint{
 		Cur:                ps.cur,
 		Mode:               opt.Mode,
@@ -158,11 +177,11 @@ func (ps *PlacementState) capture() *checkpoint {
 
 		GuardCfg: opt.Guard,
 
-		NumCells: len(d.Cells),
-		NumNets:  len(d.Nets),
-		NumPins:  len(d.Pins),
-		NumRails: len(d.Rails),
-		Die:      d.Die,
+		NumCells: len(fingerD.Cells),
+		NumNets:  len(fingerD.Nets),
+		NumPins:  len(fingerD.Pins),
+		NumRails: len(fingerD.Rails),
+		Die:      fingerD.Die,
 
 		WLIters:           ps.Res.WLIters,
 		RouteIters:        ps.Res.RouteIters,
@@ -171,6 +190,14 @@ func (ps *PlacementState) capture() *checkpoint {
 		HPWLLegalized:     ps.Res.HPWLLegalized,
 		LegalizeDisp:      ps.Res.LegalizeDisp,
 		CongestionHistory: append([]float64(nil), ps.Res.CongestionHistory...),
+	}
+	if ps.ml != nil {
+		ck.ML = true
+		ck.MLLevels = ps.ml.levels
+		ck.MLMaxW = ps.ml.maxW
+		ck.MLTop = ps.ml.topLevel
+		ck.MLLevel = ps.level
+		ck.MLCells = len(d.Cells)
 	}
 	if ps.grd != nil {
 		ck.GuardRetries = ps.grd.retries
@@ -269,6 +296,10 @@ func writeCheckpointBody(bw *bytes.Buffer, ck *checkpoint) {
 	fmt.Fprintf(bw, "# nmplace checkpoint\n")
 	fmt.Fprintf(bw, "nmckpt %d\n", checkpointVersion)
 	fmt.Fprintf(bw, "cursor %s %d %d\n", ck.Cur.stage, ck.Cur.iter, ck.Cur.step)
+	if ck.ML {
+		fmt.Fprintf(bw, "multilevel %d %d %d %d %d\n",
+			ck.MLLevels, ck.MLMaxW, ck.MLTop, ck.MLLevel, ck.MLCells)
+	}
 	fmt.Fprintf(bw, "mode %d\n", int(ck.Mode))
 	scheme := ck.Tech.InflationScheme
 	if scheme == "" {
@@ -523,6 +554,13 @@ func parseCheckpoint(body []byte) (*checkpoint, error) {
 			ck.Cur.stage = p.token()
 			ck.Cur.iter = p.nextInt()
 			ck.Cur.step = p.nextInt()
+		case "multilevel":
+			ck.ML = true
+			ck.MLLevels = p.nextInt()
+			ck.MLMaxW = p.nextInt()
+			ck.MLTop = p.nextInt()
+			ck.MLLevel = p.nextInt()
+			ck.MLCells = p.nextInt()
 		case "mode":
 			ck.Mode = Mode(p.nextInt())
 		case "tech":
@@ -687,6 +725,11 @@ func parseCheckpoint(body []byte) (*checkpoint, error) {
 	if stageIndex(ck.Cur.stage) >= len(stageOrder) {
 		return nil, corruptf("checkpoint has unknown cursor stage %q", ck.Cur.stage)
 	}
+	if ck.ML && (ck.MLLevels < 2 || ck.MLMaxW < 0 || ck.MLTop < 1 ||
+		ck.MLLevel < 0 || ck.MLLevel > ck.MLTop || ck.MLCells <= 0) {
+		return nil, corruptf("checkpoint has inconsistent multilevel record %d %d %d %d %d",
+			ck.MLLevels, ck.MLMaxW, ck.MLTop, ck.MLLevel, ck.MLCells)
+	}
 	return ck, nil
 }
 
@@ -784,6 +827,9 @@ type CheckpointInfo struct {
 	Stage string
 	Iter  int
 	Step  int
+	// Level is the multilevel hierarchy level the cursor belongs to
+	// (0 for flat runs and for a multilevel run's finest level).
+	Level int
 	// RouteIters is the number of router calls committed so far.
 	RouteIters int
 	// TraceSeq is the number of telemetry events the run had emitted when
@@ -808,6 +854,7 @@ func InspectCheckpoint(path string) (CheckpointInfo, error) {
 		Stage:      ck.Cur.stage,
 		Iter:       ck.Cur.iter,
 		Step:       ck.Cur.step,
+		Level:      ck.MLLevel,
 		RouteIters: ck.RouteIters,
 	}
 	if ck.Tel != nil {
@@ -840,6 +887,9 @@ func resumeCheckpoint(ctx context.Context, d *netlist.Design, ck *checkpoint, op
 	if err := validatePlaceable(d); err != nil {
 		return nil, err
 	}
+	if ck.ML {
+		return resumeMultilevel(ctx, d, ck, merged)
+	}
 	ps, err := ck.restore(d, merged)
 	if err != nil {
 		return nil, err
@@ -865,6 +915,8 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 		SkipLegalize:       ck.SkipLegalize,
 		SkipDetailed:       ck.SkipDetailed,
 		Guard:              ck.GuardCfg,
+		Levels:             ck.MLLevels,
+		ClusterMaxSize:     ck.MLMaxW,
 
 		Workers:                 opt.Workers,
 		Log:                     opt.Log,
@@ -886,6 +938,16 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 	patience := opt.CongestionPatience
 	if patience < 0 {
 		patience = 0
+	}
+	// Levels 0 and 1 both select the flat flow; ClusterMaxSize follows the
+	// sentinel convention (negative selects "no cap", serialized as 0).
+	levels := opt.Levels
+	if levels == 1 {
+		levels = 0
+	}
+	maxSize := opt.ClusterMaxSize
+	if maxSize < 0 {
+		maxSize = 0
 	}
 	mismatch := ""
 	switch {
@@ -909,6 +971,10 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 		mismatch = "SkipLegalize"
 	case opt.SkipDetailed && !ck.SkipDetailed:
 		mismatch = "SkipDetailed"
+	case levels != 0 && levels != ck.MLLevels:
+		mismatch = "Levels"
+	case opt.ClusterMaxSize != 0 && maxSize != ck.MLMaxW:
+		mismatch = "ClusterMaxSize"
 	}
 	// The checkpoint stores the post-SetDefaults guard config, so apply the
 	// same defaulting to the caller's before comparing.
@@ -927,27 +993,45 @@ func (ck *checkpoint) mergeOptions(opt Options) (Options, error) {
 	return merged, nil
 }
 
-// restore rebuilds a runnable PlacementState from a parsed checkpoint.
-// Order matters: telemetry first (so metric handles resolved while building
-// the runtime bind to the restored registry), then positions, then the
-// deterministic model reconstruction, then the model state overlays.
-func (ck *checkpoint) restore(d *netlist.Design, opt Options) (*PlacementState, error) {
+// validateDesign checks the caller's design against the checkpoint's
+// fingerprint (always the ORIGINAL design, even for a checkpoint captured at
+// a coarse multilevel level).
+func (ck *checkpoint) validateDesign(d *netlist.Design) error {
 	if len(d.Cells) != ck.NumCells || len(d.Nets) != ck.NumNets ||
 		len(d.Pins) != ck.NumPins || len(d.Rails) != ck.NumRails {
-		return nil, fmt.Errorf("core: resume: design has %d cells/%d nets/%d pins/%d rails, checkpoint was taken on %d/%d/%d/%d",
+		return fmt.Errorf("core: resume: design has %d cells/%d nets/%d pins/%d rails, checkpoint was taken on %d/%d/%d/%d",
 			len(d.Cells), len(d.Nets), len(d.Pins), len(d.Rails),
 			ck.NumCells, ck.NumNets, ck.NumPins, ck.NumRails)
 	}
 	if d.Die != ck.Die {
-		return nil, fmt.Errorf("core: resume: design die %v differs from checkpointed %v", d.Die, ck.Die)
+		return fmt.Errorf("core: resume: design die %v differs from checkpointed %v", d.Die, ck.Die)
 	}
+	return nil
+}
+
+// restore rebuilds a runnable PlacementState from a flat-run checkpoint.
+func (ck *checkpoint) restore(d *netlist.Design, opt Options) (*PlacementState, error) {
+	if err := ck.validateDesign(d); err != nil {
+		return nil, err
+	}
+	return ck.restoreInto(d, opt, 0, nil)
+}
+
+// restoreInto rebuilds the PlacementState for the design the cursor points
+// at — the original design on a flat run, the level design of a multilevel
+// one. Order matters: telemetry first (so metric handles resolved while
+// building the runtime bind to the restored registry), then positions, then
+// the deterministic model reconstruction, then the model state overlays.
+func (ck *checkpoint) restoreInto(d *netlist.Design, opt Options, level int, ml *mlRun) (*PlacementState, error) {
 	if len(ck.CellPos) != 2*len(d.Cells) {
 		return nil, fmt.Errorf("core: resume: cellpos has %d values, want %d", len(ck.CellPos), 2*len(d.Cells))
 	}
 
 	ps := &PlacementState{
-		D:   d,
-		Opt: opt,
+		D:     d,
+		Opt:   opt,
+		level: level,
+		ml:    ml,
 		Res: &Result{
 			Mode:              ck.Mode,
 			WLIters:           ck.WLIters,

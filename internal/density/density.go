@@ -27,10 +27,11 @@ import (
 // Model holds the bin grid, the Poisson solver, filler cells and scratch
 // buffers for density evaluation of one design.
 //
-// Rasterization and the penalty/overflow reductions run cell- or bin-parallel
-// over the internal/parallel shard layer: splats land in shard-private bin
-// maps merged in fixed shard order, so every worker count produces
-// byte-identical fields, penalties and gradients.
+// Rasterization and the penalty/overflow reductions run over the
+// internal/parallel shard layer: splats are cache-blocked into bin tiles
+// whose per-bin summation order reproduces the fixed shard tree (see
+// Compute), so every worker count produces byte-identical fields,
+// penalties and gradients.
 type Model struct {
 	// Workers caps the goroutines used per evaluation (rasterization,
 	// penalty, gradients and the embedded Poisson solve); 0 selects
@@ -58,11 +59,15 @@ type Model struct {
 	movArea  []float64 // per-bin movable+filler area (for overflow)
 	freeBin  []float64 // per-bin free area = binArea − fixed overlap
 
-	// Per-shard splat accumulators (merged in shard order after the
-	// parallel rasterization), and timing of the parallel sections.
-	shardRho [][]float64
-	shardMov [][]float64
-	stats    parallel.Timing
+	// Cache-blocked rasterization state: the bin grid is partitioned into
+	// tileBins×tileBins tiles, each Compute builds per-tile charge lists,
+	// and tiles are splatted independently (disjoint bin writes, no merge).
+	// See Compute for the determinism argument.
+	tpx, tpy    int // tiles per axis
+	cellIndex   tileIndex
+	fillerIndex tileIndex
+	tileScratch [parallel.NumShards][]float64 // per-worker tile accumulator
+	stats       parallel.Timing
 
 	inflation []float64 // per-cell inflation ratio r_i (movables only used)
 
@@ -96,7 +101,13 @@ func New(d *netlist.Design, gridHint int) *Model {
 		binW: d.Die.W() / float64(nx),
 		binH: d.Die.H() / float64(ny),
 	}
-	m.solver = poisson.NewSolver(nx, ny)
+	solver, err := poisson.NewSolver(nx, ny)
+	if err != nil {
+		// nx and ny come from NextPow2 above; a failure here is a programming
+		// error in this constructor, not a caller mistake.
+		panic(err)
+	}
+	m.solver = solver
 	m.grid = m.solver.NewGrid()
 	n := nx * ny
 	m.rho = make([]float64, n)
@@ -104,8 +115,11 @@ func New(d *netlist.Design, gridHint int) *Model {
 	m.pgRho = make([]float64, n)
 	m.movArea = make([]float64, n)
 	m.freeBin = make([]float64, n)
-	m.shardRho = parallel.NewShards(n)
-	m.shardMov = parallel.NewShards(n)
+	m.tpx = (nx + tileBins - 1) / tileBins
+	m.tpy = (ny + tileBins - 1) / tileBins
+	for s := range m.tileScratch {
+		m.tileScratch[s] = make([]float64, tileBins*tileBins)
+	}
 	m.inflation = make([]float64, len(d.Cells))
 	for i := range m.inflation {
 		m.inflation[i] = 1
@@ -299,18 +313,8 @@ func (m *Model) binAt(x, y float64) (int, int) {
 // smaller than a bin are expanded to bin size with proportionally reduced
 // density so the field stays smooth (ePlace's local smoothing).
 func (m *Model) splat(dst []float64, r geom.Rect, scale float64, smooth bool) {
-	w, h := r.W(), r.H()
-	cx, cy := r.Center().X, r.Center().Y
 	if smooth {
-		if w < m.binW {
-			scale *= w / m.binW
-			w = m.binW
-		}
-		if h < m.binH {
-			scale *= h / m.binH
-			h = m.binH
-		}
-		r = geom.NewRect(cx-w/2, cy-h/2, cx+w/2, cy+h/2)
+		r, scale = m.smoothed(r, scale)
 	}
 	lo := r.Lo
 	hi := r.Hi
@@ -335,50 +339,267 @@ func (m *Model) splat(dst []float64, r geom.Rect, scale float64, smooth bool) {
 	}
 }
 
+// smoothed applies ePlace's area-preserving minimum-size smoothing: rects
+// smaller than a bin are expanded to bin size with proportionally reduced
+// density. The rect is always rebuilt around its center (even when no axis
+// expands) so the arithmetic matches the historical splat smooth branch
+// bit for bit.
+func (m *Model) smoothed(r geom.Rect, scale float64) (geom.Rect, float64) {
+	w, h := r.W(), r.H()
+	cx, cy := r.Center().X, r.Center().Y
+	if w < m.binW {
+		scale *= w / m.binW
+		w = m.binW
+	}
+	if h < m.binH {
+		scale *= h / m.binH
+		h = m.binH
+	}
+	return geom.NewRect(cx-w/2, cy-h/2, cx+w/2, cy+h/2), scale
+}
+
+// cellCharge returns the smoothed charge rect and density scale of one
+// movable cell at its current position and inflation ratio. Inflation
+// scales the charge area (paper: "the cell size is proportionally inflated
+// during density calculation").
+func (m *Model) cellCharge(ci int) (geom.Rect, float64) {
+	c := &m.d.Cells[ci]
+	r := m.inflation[ci]
+	if r <= 0 {
+		r = 1
+	}
+	w := c.W * math.Sqrt(r)
+	h := c.H * math.Sqrt(r)
+	return m.smoothed(geom.NewRect(c.X-w/2, c.Y-h/2, c.X+w/2, c.Y+h/2), 1)
+}
+
+// fillerCharge returns the smoothed charge rect and density scale of one
+// filler cell.
+func (m *Model) fillerCharge(k int) (geom.Rect, float64) {
+	x, y := m.FillerPos[2*k], m.FillerPos[2*k+1]
+	return m.smoothed(geom.NewRect(x-m.FillerW/2, y-m.FillerH/2, x+m.FillerW/2, y+m.FillerH/2), 1)
+}
+
+// binBBox returns the inclusive bin bounding box a charge rect touches,
+// clamped to the grid — the same clamping the splat loop applies.
+func (m *Model) binBBox(r geom.Rect) (bx0, bx1, by0, by1 int) {
+	bx0 = geom.ClampInt(int((r.Lo.X-m.d.Die.Lo.X)/m.binW), 0, m.NX-1)
+	bx1 = geom.ClampInt(int((r.Hi.X-m.d.Die.Lo.X)/m.binW), 0, m.NX-1)
+	by0 = geom.ClampInt(int((r.Lo.Y-m.d.Die.Lo.Y)/m.binH), 0, m.NY-1)
+	by1 = geom.ClampInt(int((r.Hi.Y-m.d.Die.Lo.Y)/m.binH), 0, m.NY-1)
+	return
+}
+
+// splatTile adds the overlap of an already-smoothed charge rect into a
+// tile-local accumulator, visiting only bins inside the tile. The per-bin
+// overlap arithmetic is identical to splat; bins of the rect outside this
+// tile are splatted by the tiles that own them.
+func (m *Model) splatTile(dst []float64, r geom.Rect, scale float64, tbx0, tby0, bw, bh int) {
+	bx0, bx1, by0, by1 := m.binBBox(r)
+	if bx0 < tbx0 {
+		bx0 = tbx0
+	}
+	if by0 < tby0 {
+		by0 = tby0
+	}
+	if v := tbx0 + bw - 1; bx1 > v {
+		bx1 = v
+	}
+	if v := tby0 + bh - 1; by1 > v {
+		by1 = v
+	}
+	for by := by0; by <= by1; by++ {
+		y0 := m.d.Die.Lo.Y + float64(by)*m.binH
+		oy := geom.OverlapLen(r.Lo.Y, r.Hi.Y, y0, y0+m.binH)
+		if oy <= 0 {
+			continue
+		}
+		row := (by-tby0)*bw - tbx0
+		for bx := bx0; bx <= bx1; bx++ {
+			x0 := m.d.Die.Lo.X + float64(bx)*m.binW
+			ox := geom.OverlapLen(r.Lo.X, r.Hi.X, x0, x0+m.binW)
+			if ox <= 0 {
+				continue
+			}
+			dst[row+bx] += ox * oy * scale
+		}
+	}
+}
+
+// tileBins is the tile edge length in bins. A tile accumulator is
+// tileBins²·8 bytes = 8 KiB — two fit in L1, so the splat inner loop hits
+// cache no matter how large the full grid is (a 1M-cell design uses a
+// 512×512 grid: 2 MiB per field, far beyond L1/L2 when splatted at random).
+const tileBins = 32
+
+// tileIndex is a per-Compute CSR index mapping each tile to the charges
+// whose bin bounding box intersects it, segmented by parallel shard. Within
+// a (tile, shard) segment items appear in ascending index order, which is
+// what makes the tiled summation reproduce the flat per-shard order.
+// Buffers are grow-only and reused across Computes.
+type tileIndex struct {
+	cnt   [parallel.NumShards][]int32 // per-shard per-tile charge counts
+	start [parallel.NumShards][]int32 // segment start in list
+	end   [parallel.NumShards][]int32 // segment end (filled during pass 2)
+	list  []int32                     // concatenated per-tile, per-shard item lists
+}
+
+func (ti *tileIndex) ensure(nt int) {
+	for s := 0; s < parallel.NumShards; s++ {
+		if cap(ti.cnt[s]) < nt {
+			ti.cnt[s] = make([]int32, nt)
+			ti.start[s] = make([]int32, nt)
+			ti.end[s] = make([]int32, nt)
+		}
+		ti.cnt[s] = ti.cnt[s][:nt]
+		ti.start[s] = ti.start[s][:nt]
+		ti.end[s] = ti.end[s][:nt]
+		for t := range ti.cnt[s] {
+			ti.cnt[s][t] = 0
+		}
+	}
+}
+
+// build populates the index for n items whose tile span is given by span
+// (ok=false items are skipped): a parallel count pass, a serial prefix sum,
+// and a parallel fill pass. Shard s writes only its own rows and segments,
+// so both passes are race-free, and iterating a shard's contiguous item
+// range in order makes every segment ascending.
+func (ti *tileIndex) build(workers, nt, n, tpx int, span func(i int) (tx0, ty0, tx1, ty1 int, ok bool)) parallel.Timing {
+	ti.ensure(nt)
+	stats := parallel.For(workers, n, func(shard, lo, hi int) {
+		cnt := ti.cnt[shard]
+		for i := lo; i < hi; i++ {
+			tx0, ty0, tx1, ty1, ok := span(i)
+			if !ok {
+				continue
+			}
+			for ty := ty0; ty <= ty1; ty++ {
+				for tx := tx0; tx <= tx1; tx++ {
+					cnt[ty*tpx+tx]++
+				}
+			}
+		}
+	})
+	var pos int32
+	for t := 0; t < nt; t++ {
+		for s := 0; s < parallel.NumShards; s++ {
+			ti.start[s][t] = pos
+			ti.end[s][t] = pos
+			pos += ti.cnt[s][t]
+		}
+	}
+	if cap(ti.list) < int(pos) {
+		ti.list = make([]int32, pos)
+	}
+	ti.list = ti.list[:pos]
+	stats.Add(parallel.For(workers, n, func(shard, lo, hi int) {
+		end := ti.end[shard]
+		for i := lo; i < hi; i++ {
+			tx0, ty0, tx1, ty1, ok := span(i)
+			if !ok {
+				continue
+			}
+			for ty := ty0; ty <= ty1; ty++ {
+				for tx := tx0; tx <= tx1; tx++ {
+					t := ty*tpx + tx
+					ti.list[end[t]] = int32(i)
+					end[t]++
+				}
+			}
+		}
+	}))
+	return stats
+}
+
 // Compute rasterizes the current cell and filler positions and solves the
 // Poisson equation. It must be called before Penalty, Overflow or the
 // gradient accessors.
 //
-// Splats go into per-shard bin maps merged in fixed shard order, so the
-// charge field is byte-identical for every worker count.
+// Rasterization is cache-blocked: charges are bucketed into 32×32-bin
+// tiles, then tiles are splatted in parallel with disjoint bin writes —
+// no full-grid shard buffers to zero and merge, and the inner loop stays
+// inside an 8 KiB accumulator regardless of grid size.
+//
+// The result is bit-identical to the historical per-shard merge for every
+// worker count: per bin, the charge is still
+//
+//	fixed + P₀ + P₁ + … + P₁₅
+//
+// with partial P_s summed from zero over shard s's movable cells then
+// shard s's fillers in ascending index order — the tile loop just computes
+// each P_s restricted to its own bins (tiles partition the grid, and the
+// per-bin overlap arithmetic is shared with splat). All splat
+// contributions are ≥ 0, so skipping an empty (tile, shard) segment is
+// exact: it only elides additions of +0.0.
 func (m *Model) Compute() {
-	parallel.ZeroFloats(m.shardRho)
-	parallel.ZeroFloats(m.shardMov)
-	m.stats.Add(parallel.For(m.Workers, len(m.d.Cells), func(shard, lo, hi int) {
-		rho, mov := m.shardRho[shard], m.shardMov[shard]
-		for ci := lo; ci < hi; ci++ {
-			c := &m.d.Cells[ci]
-			if !c.Movable() {
-				continue
+	nCells := len(m.d.Cells)
+	nt := m.tpx * m.tpy
+	m.stats.Add(m.cellIndex.build(m.Workers, nt, nCells, m.tpx,
+		func(ci int) (int, int, int, int, bool) {
+			if !m.d.Cells[ci].Movable() {
+				return 0, 0, 0, 0, false
 			}
-			r := m.inflation[ci]
-			if r <= 0 {
-				r = 1
+			rect, _ := m.cellCharge(ci)
+			bx0, bx1, by0, by1 := m.binBBox(rect)
+			return bx0 / tileBins, by0 / tileBins, bx1 / tileBins, by1 / tileBins, true
+		}))
+	m.stats.Add(m.fillerIndex.build(m.Workers, nt, m.activeFillers, m.tpx,
+		func(k int) (int, int, int, int, bool) {
+			rect, _ := m.fillerCharge(k)
+			bx0, bx1, by0, by1 := m.binBBox(rect)
+			return bx0 / tileBins, by0 / tileBins, bx1 / tileBins, by1 / tileBins, true
+		}))
+	m.stats.Add(parallel.For(m.Workers, nt, func(worker, lo, hi int) {
+		scratch := m.tileScratch[worker]
+		for t := lo; t < hi; t++ {
+			tbx0 := (t % m.tpx) * tileBins
+			tby0 := (t / m.tpx) * tileBins
+			bw := m.NX - tbx0
+			if bw > tileBins {
+				bw = tileBins
 			}
-			// Inflation scales the charge area (paper: "the cell size is
-			// proportionally inflated during density calculation").
-			w := c.W * math.Sqrt(r)
-			h := c.H * math.Sqrt(r)
-			rect := geom.NewRect(c.X-w/2, c.Y-h/2, c.X+w/2, c.Y+h/2)
-			m.splat(rho, rect, 1, true)
-			m.splat(mov, rect, 1, true)
+			bh := m.NY - tby0
+			if bh > tileBins {
+				bh = tileBins
+			}
+			for yy := 0; yy < bh; yy++ {
+				row := (tby0+yy)*m.NX + tbx0
+				copy(m.rho[row:row+bw], m.fixedRho[row:row+bw])
+				for xx := 0; xx < bw; xx++ {
+					m.movArea[row+xx] = 0
+				}
+			}
+			for s := 0; s < parallel.NumShards; s++ {
+				cLo, cHi := m.cellIndex.start[s][t], m.cellIndex.end[s][t]
+				fLo, fHi := m.fillerIndex.start[s][t], m.fillerIndex.end[s][t]
+				if cLo == cHi && fLo == fHi {
+					continue
+				}
+				part := scratch[:bw*bh]
+				for i := range part {
+					part[i] = 0
+				}
+				for _, ci := range m.cellIndex.list[cLo:cHi] {
+					rect, scale := m.cellCharge(int(ci))
+					m.splatTile(part, rect, scale, tbx0, tby0, bw, bh)
+				}
+				for _, k := range m.fillerIndex.list[fLo:fHi] {
+					rect, scale := m.fillerCharge(int(k))
+					m.splatTile(part, rect, scale, tbx0, tby0, bw, bh)
+				}
+				for yy := 0; yy < bh; yy++ {
+					srow := yy * bw
+					drow := (tby0+yy)*m.NX + tbx0
+					for xx := 0; xx < bw; xx++ {
+						v := part[srow+xx]
+						m.rho[drow+xx] += v
+						m.movArea[drow+xx] += v
+					}
+				}
+			}
 		}
 	}))
-	m.stats.Add(parallel.For(m.Workers, m.activeFillers, func(shard, lo, hi int) {
-		rho, mov := m.shardRho[shard], m.shardMov[shard]
-		for k := lo; k < hi; k++ {
-			x, y := m.FillerPos[2*k], m.FillerPos[2*k+1]
-			rect := geom.NewRect(x-m.FillerW/2, y-m.FillerH/2, x+m.FillerW/2, y+m.FillerH/2)
-			m.splat(rho, rect, 1, true)
-			m.splat(mov, rect, 1, true)
-		}
-	}))
-	copy(m.rho, m.fixedRho)
-	parallel.MergeFloats(m.rho, m.shardRho)
-	for i := range m.movArea {
-		m.movArea[i] = 0
-	}
-	parallel.MergeFloats(m.movArea, m.shardMov)
 	for i := range m.rho {
 		m.rho[i] += m.pgRho[i]
 	}

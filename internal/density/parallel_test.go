@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/parallel"
+	"repro/internal/synth"
 )
 
 func bitsEqual(a, b []float64) bool {
@@ -68,6 +70,100 @@ func TestDensityBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		if math.Float64bits(got.ovf) != math.Float64bits(ref.ovf) {
 			t.Errorf("workers=%d: overflow %v != serial %v", w, got.ovf, ref.ovf)
 		}
+	}
+}
+
+// referenceRho rasterizes the model's current state with the historical
+// flat algorithm — full-grid per-shard buffers merged in ascending shard
+// order — and returns the normalized charge grid and movable-area map.
+// The tiled Compute must reproduce it bit for bit.
+func referenceRho(m *Model) (rho, mov []float64) {
+	n := m.NX * m.NY
+	shardRho := parallel.NewShards(n)
+	shardMov := parallel.NewShards(n)
+	for s := 0; s < parallel.NumShards; s++ {
+		lo, hi := parallel.Range(s, len(m.d.Cells))
+		for ci := lo; ci < hi; ci++ {
+			c := &m.d.Cells[ci]
+			if !c.Movable() {
+				continue
+			}
+			r := m.inflation[ci]
+			if r <= 0 {
+				r = 1
+			}
+			w := c.W * math.Sqrt(r)
+			h := c.H * math.Sqrt(r)
+			rect := geom.NewRect(c.X-w/2, c.Y-h/2, c.X+w/2, c.Y+h/2)
+			m.splat(shardRho[s], rect, 1, true)
+			m.splat(shardMov[s], rect, 1, true)
+		}
+		lo, hi = parallel.Range(s, m.activeFillers)
+		for k := lo; k < hi; k++ {
+			x, y := m.FillerPos[2*k], m.FillerPos[2*k+1]
+			rect := geom.NewRect(x-m.FillerW/2, y-m.FillerH/2, x+m.FillerW/2, y+m.FillerH/2)
+			m.splat(shardRho[s], rect, 1, true)
+			m.splat(shardMov[s], rect, 1, true)
+		}
+	}
+	rho = make([]float64, n)
+	copy(rho, m.fixedRho)
+	parallel.MergeFloats(rho, shardRho)
+	mov = make([]float64, n)
+	parallel.MergeFloats(mov, shardMov)
+	for i := range rho {
+		rho[i] += m.pgRho[i]
+	}
+	binArea := m.binW * m.binH
+	for i := range rho {
+		rho[i] /= binArea
+	}
+	return rho, mov
+}
+
+// TestComputeMatchesShardMergeReference: the cache-blocked tile
+// rasterization claims bit-identity with the historical full-grid
+// shard-merge — including macros (fixed charge), fillers, per-cell
+// inflation and PG density, on grids both smaller and larger than one
+// tile. Verify the claim against an in-test reference implementation.
+func TestComputeMatchesShardMergeReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		grid int
+	}{
+		{"single-tile", 16}, // whole grid inside one partial tile
+		{"exact-tile", 32},  // grid == one full tile
+		{"multi-tile", 128}, // 4×4 tiles, charges straddle tile edges
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := synth.MustGenerate("tiny_hot")
+			m := New(d, tc.grid)
+			for ci := range d.Cells {
+				if ci%3 == 0 {
+					m.SetInflation(ci, 1.7)
+				}
+			}
+			pg := make([]float64, m.NX*m.NY)
+			for i := range pg {
+				if i%17 == 0 {
+					pg[i] = m.BinW() * m.BinH() * 0.3
+				}
+			}
+			if err := m.SetPGDensity(pg); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 4, parallel.NumShards} {
+				m.Workers = w
+				m.Compute()
+				wantRho, wantMov := referenceRho(m)
+				if !bitsEqual(m.rho, wantRho) {
+					t.Errorf("workers=%d: tiled rho differs bitwise from shard-merge reference", w)
+				}
+				if !bitsEqual(m.movArea, wantMov) {
+					t.Errorf("workers=%d: tiled movArea differs bitwise from shard-merge reference", w)
+				}
+			}
+		})
 	}
 }
 

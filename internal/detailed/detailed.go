@@ -74,6 +74,10 @@ func RefineContext(ctx context.Context, d *netlist.Design, opt Options) (Result,
 		passes = 2
 	}
 	res := Result{HPWLBefore: d.HPWL()}
+	// Macro footprints never move during refinement; collect them once.
+	// (Calling d.MacroRects per candidate move scans every cell — at 500k
+	// cells that turns the sweeps quadratic.)
+	macros := d.MacroRects()
 	for p := 0; p < passes; p++ {
 		sp := opt.Trace.Start("detailed.pass")
 		rows := rowOf(d)
@@ -88,8 +92,8 @@ func RefineContext(ctx context.Context, d *netlist.Design, opt Options) (Result,
 				res.HPWLAfter = d.HPWL()
 				return res, err
 			}
-			res.Shifts += shiftRow(d, rows[r])
-			res.Swaps += swapRow(d, rows[r])
+			res.Shifts += shiftRow(d, rows[r], macros)
+			res.Swaps += swapRow(d, rows[r], macros)
 		}
 		sp.End()
 	}
@@ -142,7 +146,7 @@ func medianTargetX(d *netlist.Design, ci int) (float64, bool) {
 // between its neighbours (macro boundaries are respected because neighbours
 // were legal and gaps never extend past them — the cell only moves within
 // [prevRight, nextLeft]).
-func shiftRow(d *netlist.Design, ids []int) int {
+func shiftRow(d *netlist.Design, ids []int, macros []geom.Rect) int {
 	shifts := 0
 	for k, ci := range ids {
 		c := &d.Cells[ci]
@@ -165,7 +169,7 @@ func shiftRow(d *netlist.Design, ids []int) int {
 		// in macro-free segments already, and the neighbour bound keeps them
 		// there unless the row has macro gaps between neighbours. Guard by
 		// scanning macros on this row.
-		lo, hi = clipByMacros(d, c, lo, hi)
+		lo, hi = clipByMacros(macros, c, lo, hi)
 		if hi-lo < c.W {
 			continue
 		}
@@ -181,9 +185,9 @@ func shiftRow(d *netlist.Design, ids []int) int {
 
 // clipByMacros narrows [lo, hi] so the span of cell c cannot cross a macro
 // footprint on its row.
-func clipByMacros(d *netlist.Design, c *netlist.Cell, lo, hi float64) (float64, float64) {
+func clipByMacros(macros []geom.Rect, c *netlist.Cell, lo, hi float64) (float64, float64) {
 	y0, y1 := c.Y-c.H/2, c.Y+c.H/2
-	for _, m := range d.MacroRects() {
+	for _, m := range macros {
 		if m.Hi.Y <= y0 || m.Lo.Y >= y1 {
 			continue
 		}
@@ -208,7 +212,7 @@ func snapCenter(d *netlist.Design, c *netlist.Cell, x float64) float64 {
 // HPWL of the nets touching them and both cells still fit in each other's
 // spot (always true for equal widths; for unequal widths the pair is
 // re-packed left-to-right in the union span).
-func swapRow(d *netlist.Design, ids []int) int {
+func swapRow(d *netlist.Design, ids []int, macros []geom.Rect) int {
 	swaps := 0
 	for k := 0; k+1 < len(ids); k++ {
 		a := ids[k]
@@ -222,7 +226,7 @@ func swapRow(d *netlist.Design, ids []int) int {
 		ca.X = left + cb.W + ca.W/2
 		// The original pair may have had a macro in the gap between them;
 		// the repacked footprints must stay clear of every macro.
-		if overlapsMacro(d, ca) || overlapsMacro(d, cb) {
+		if overlapsMacro(macros, ca) || overlapsMacro(macros, cb) {
 			ca.X, cb.X = ax, bx
 			continue
 		}
@@ -238,9 +242,9 @@ func swapRow(d *netlist.Design, ids []int) int {
 }
 
 // overlapsMacro reports whether cell c's footprint intersects any macro.
-func overlapsMacro(d *netlist.Design, c *netlist.Cell) bool {
+func overlapsMacro(macros []geom.Rect, c *netlist.Cell) bool {
 	r := c.Rect()
-	for _, m := range d.MacroRects() {
+	for _, m := range macros {
 		if m.Intersects(r) {
 			return true
 		}

@@ -67,6 +67,14 @@ type Spec struct {
 	MaxRouteIters     int `json:"max_route_iters,omitempty"`
 	StepsPerRouteIter int `json:"steps_per_route_iter,omitempty"`
 
+	// Levels enables the multilevel clustered flow (core.Options.Levels);
+	// 0/1 runs flat. ClusterMaxSize follows the core sentinel convention
+	// (0 = auto, negative = no cap). Preemption and crash migration work at
+	// any hierarchy level: coarse boundary points ("L2/wirelength") are
+	// ordinary stage-graph cursors to the scheduler.
+	Levels         int `json:"levels,omitempty"`
+	ClusterMaxSize int `json:"cluster_max_size,omitempty"`
+
 	// Technique negations (the techniques default to on, as in the CLI).
 	NoMCI bool `json:"no_mci,omitempty"`
 	NoDC  bool `json:"no_dc,omitempty"`
@@ -106,6 +114,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.GridHint < 0 || s.MaxWLIters < 0 || s.MaxRouteIters < 0 || s.StepsPerRouteIter < 0 {
 		return fmt.Errorf("jobs: option fields must be ≥ 0")
+	}
+	if s.Levels < 0 || s.Levels > 8 {
+		return fmt.Errorf("jobs: levels must be within [0, 8]")
 	}
 	return nil
 }
@@ -161,6 +172,8 @@ func (s *Spec) coreOptions() core.Options {
 		MaxWLIters:        s.MaxWLIters,
 		MaxRouteIters:     s.MaxRouteIters,
 		StepsPerRouteIter: s.StepsPerRouteIter,
+		Levels:            s.Levels,
+		ClusterMaxSize:    s.ClusterMaxSize,
 		SkipLegalize:      s.SkipLegalize,
 		SkipDetailed:      s.SkipDetailed,
 	}

@@ -16,7 +16,7 @@ func TestSolveBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		rho[i] = math.Sin(float64(3*i)) + 0.25*math.Cos(float64(7*i))
 	}
 	solve := func(workers int) *Grid {
-		s := NewSolver(nx, ny)
+		s := mustSolver(t, nx, ny)
 		s.Workers = workers
 		g := s.NewGrid()
 		s.Solve(rho, g)
@@ -38,7 +38,7 @@ func TestSolveBitwiseIdenticalAcrossWorkers(t *testing.T) {
 // TestSolveStatsAccumulate: Solve records the cost of its parallel
 // sections for the telemetry speedup gauges.
 func TestSolveStatsAccumulate(t *testing.T) {
-	s := NewSolver(16, 16)
+	s := mustSolver(t, 16, 16)
 	g := s.NewGrid()
 	rho := make([]float64, 16*16)
 	rho[5] = 1

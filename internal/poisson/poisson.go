@@ -66,10 +66,12 @@ type Grid struct {
 }
 
 // NewSolver creates a solver for an nx×ny grid. Both dimensions must be
-// powers of two (the placer rounds its bin counts up accordingly).
-func NewSolver(nx, ny int) *Solver {
+// powers of two (the placer rounds its bin counts up accordingly); any other
+// size fails with an error matching spectral.ErrNotPow2.
+func NewSolver(nx, ny int) (*Solver, error) {
 	if !spectral.IsPow2(nx) || !spectral.IsPow2(ny) {
-		panic(fmt.Sprintf("poisson: grid %dx%d must have power-of-two dimensions", nx, ny))
+		return nil, fmt.Errorf("poisson: grid %dx%d must have power-of-two dimensions: %w",
+			nx, ny, spectral.ErrNotPow2)
 	}
 	s := &Solver{
 		nx:     nx,
@@ -86,8 +88,14 @@ func NewSolver(nx, ny int) *Solver {
 		tmpB:   make([]float64, nx*ny),
 		tmpC:   make([]float64, nx*ny),
 	}
-	tx := spectral.NewTrig(nx)
-	ty := spectral.NewTrig(ny)
+	tx, err := spectral.NewTrig(nx)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := spectral.NewTrig(ny)
+	if err != nil {
+		return nil, err
+	}
 	n := nx
 	if ny > n {
 		n = ny
@@ -131,7 +139,7 @@ func NewSolver(nx, ny int) *Solver {
 			s.filEy[i] = f * s.wy[v]
 		}
 	}
-	return s
+	return s, nil
 }
 
 // NX returns the grid width.

@@ -1,11 +1,23 @@
 package poisson
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/spectral"
 )
+
+func mustSolver(tb testing.TB, nx, ny int) *Solver {
+	tb.Helper()
+	s, err := NewSolver(nx, ny)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
 
 // laplacian computes the 5-point discrete Laplacian of psi at interior cells,
 // in grid-index units, matching the spectral operator to second order.
@@ -17,7 +29,7 @@ func laplacian(psi []float64, nx, ny, ix, iy int) float64 {
 func TestSolvePoissonResidual(t *testing.T) {
 	// ∇²ψ must equal −ρ (up to discretization error) for a smooth ρ.
 	nx, ny := 64, 64
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	rho := make([]float64, nx*ny)
 	for iy := 0; iy < ny; iy++ {
 		for ix := 0; ix < nx; ix++ {
@@ -54,7 +66,7 @@ func TestSolvePoissonResidual(t *testing.T) {
 func TestFieldIsNegativeGradient(t *testing.T) {
 	// E must equal −∇ψ: compare against central differences of ψ.
 	nx, ny := 32, 32
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	rng := rand.New(rand.NewSource(7))
 	rho := make([]float64, nx*ny)
 	// Smooth random density: superpose a few low-frequency modes.
@@ -99,7 +111,7 @@ func TestFieldIsNegativeGradient(t *testing.T) {
 
 func TestZeroMeanPotential(t *testing.T) {
 	nx, ny := 16, 16
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	rng := rand.New(rand.NewSource(8))
 	rho := make([]float64, nx*ny)
 	for i := range rho {
@@ -118,7 +130,7 @@ func TestZeroMeanPotential(t *testing.T) {
 
 func TestUniformDensityGivesZeroField(t *testing.T) {
 	nx, ny := 16, 16
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	rho := make([]float64, nx*ny)
 	for i := range rho {
 		rho[i] = 3.7
@@ -137,7 +149,7 @@ func TestFieldPushesAwayFromPeak(t *testing.T) {
 	// this is the repulsive force that spreads cells (and, for the congestion
 	// instance, moves nets out of hotspots).
 	nx, ny := 32, 32
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	rho := make([]float64, nx*ny)
 	cx, cy := 16, 16
 	rho[cy*nx+cx] = 100
@@ -158,7 +170,7 @@ func TestFieldPushesAwayFromPeak(t *testing.T) {
 func TestEnergyPositive(t *testing.T) {
 	// Field energy ½Σρψ is positive for any non-uniform density.
 	nx, ny := 16, 16
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 10; trial++ {
 		rho := make([]float64, nx*ny)
@@ -177,7 +189,7 @@ func TestEnergyDecreasesWhenSpread(t *testing.T) {
 	// Spreading the same total charge over a larger region lowers energy —
 	// the optimizer's descent direction is meaningful.
 	nx, ny := 32, 32
-	s := NewSolver(nx, ny)
+	s := mustSolver(t, nx, ny)
 	concentrated := make([]float64, nx*ny)
 	spread := make([]float64, nx*ny)
 	concentrated[16*nx+16] = 16
@@ -197,16 +209,13 @@ func TestEnergyDecreasesWhenSpread(t *testing.T) {
 }
 
 func TestSolverRejectsBadDimensions(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("NewSolver(12, 16) did not panic")
-		}
-	}()
-	NewSolver(12, 16)
+	if _, err := NewSolver(12, 16); !errors.Is(err, spectral.ErrNotPow2) {
+		t.Errorf("NewSolver(12, 16) error = %v, want spectral.ErrNotPow2", err)
+	}
 }
 
 func TestSolveRejectsWrongLength(t *testing.T) {
-	s := NewSolver(8, 8)
+	s := mustSolver(t, 8, 8)
 	g := s.NewGrid()
 	defer func() {
 		if recover() == nil {
@@ -218,7 +227,7 @@ func TestSolveRejectsWrongLength(t *testing.T) {
 
 func BenchmarkSolve256(b *testing.B) {
 	nx, ny := 256, 256
-	s := NewSolver(nx, ny)
+	s := mustSolver(b, nx, ny)
 	rho := make([]float64, nx*ny)
 	for i := range rho {
 		rho[i] = float64(i%13) * 0.1
@@ -236,7 +245,7 @@ func BenchmarkSolve256(b *testing.B) {
 func BenchmarkPoissonSolve(b *testing.B) {
 	for _, n := range []int{128, 256} {
 		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
-			s := NewSolver(n, n)
+			s := mustSolver(b, n, n)
 			rho := make([]float64, n*n)
 			for i := range rho {
 				rho[i] = float64(i%13) * 0.1

@@ -7,10 +7,16 @@
 package spectral
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
 )
+
+// ErrNotPow2 is the typed failure of the transform constructors: the
+// requested length is not a positive power of two. Callers match it with
+// errors.Is; the wrapping message carries the offending length.
+var ErrNotPow2 = errors.New("length is not a power of two")
 
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
@@ -32,10 +38,11 @@ type FFT struct {
 	sinT []float64 // sin(2πk/n)
 }
 
-// NewFFT creates a transform plan of length n. n must be a power of two.
-func NewFFT(n int) *FFT {
+// NewFFT creates a transform plan of length n. n must be a power of two;
+// any other length fails with an error matching ErrNotPow2.
+func NewFFT(n int) (*FFT, error) {
 	if !IsPow2(n) {
-		panic(fmt.Sprintf("spectral: FFT length %d is not a power of two", n))
+		return nil, fmt.Errorf("spectral: FFT length %d: %w", n, ErrNotPow2)
 	}
 	f := &FFT{n: n, rev: make([]int, n), cosT: make([]float64, n/2), sinT: make([]float64, n/2)}
 	shift := bits.LeadingZeros(uint(n)) + 1
@@ -47,7 +54,7 @@ func NewFFT(n int) *FFT {
 		f.cosT[k] = math.Cos(ang)
 		f.sinT[k] = math.Sin(ang)
 	}
-	return f
+	return f, nil
 }
 
 // Len returns the transform length.

@@ -1,11 +1,30 @@
 package spectral
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+func mustFFT(tb testing.TB, n int) *FFT {
+	tb.Helper()
+	f, err := NewFFT(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+func mustTrig(tb testing.TB, n int) *Trig {
+	tb.Helper()
+	tr, err := NewTrig(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
 
 // naiveDFT computes the forward DFT directly, O(n^2), as the oracle.
 func naiveDFT(re, im []float64, sign float64) ([]float64, []float64) {
@@ -55,7 +74,7 @@ func TestFFTMatchesNaiveDFT(t *testing.T) {
 			im[i] = rng.NormFloat64()
 		}
 		wantRe, wantIm := naiveDFT(re, im, -1)
-		f := NewFFT(n)
+		f := mustFFT(t, n)
 		gotRe := append([]float64(nil), re...)
 		gotIm := append([]float64(nil), im...)
 		f.Forward(gotRe, gotIm)
@@ -70,7 +89,7 @@ func TestFFTMatchesNaiveDFT(t *testing.T) {
 func TestFFTRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	n := 128
-	f := NewFFT(n)
+	f := mustFFT(t, n)
 	re := make([]float64, n)
 	im := make([]float64, n)
 	for i := range re {
@@ -90,7 +109,7 @@ func TestFFTRoundTrip(t *testing.T) {
 
 func TestFFTLinearityProperty(t *testing.T) {
 	n := 32
-	f := NewFFT(n)
+	f := mustFFT(t, n)
 	apply := func(x []float64) ([]float64, []float64) {
 		re := append([]float64(nil), x...)
 		im := make([]float64, n)
@@ -128,7 +147,7 @@ func TestFFTLinearityProperty(t *testing.T) {
 
 func TestFFTParseval(t *testing.T) {
 	n := 64
-	f := NewFFT(n)
+	f := mustFFT(t, n)
 	rng := rand.New(rand.NewSource(3))
 	re := make([]float64, n)
 	im := make([]float64, n)
@@ -149,12 +168,15 @@ func TestFFTParseval(t *testing.T) {
 }
 
 func TestNewFFTRejectsNonPow2(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("NewFFT(12) did not panic")
-		}
-	}()
-	NewFFT(12)
+	if _, err := NewFFT(12); !errors.Is(err, ErrNotPow2) {
+		t.Errorf("NewFFT(12) error = %v, want ErrNotPow2", err)
+	}
+	if _, err := NewFFT(0); !errors.Is(err, ErrNotPow2) {
+		t.Errorf("NewFFT(0) error = %v, want ErrNotPow2", err)
+	}
+	if _, err := NewTrig(12); !errors.Is(err, ErrNotPow2) {
+		t.Errorf("NewTrig(12) error = %v, want ErrNotPow2", err)
+	}
 }
 
 // naiveAnalyzeCos is the O(n^2) oracle for the DCT-II used by the solver.
@@ -191,7 +213,7 @@ func TestAnalyzeCosMatchesNaive(t *testing.T) {
 			f[i] = rng.NormFloat64()
 		}
 		want := naiveAnalyzeCos(f)
-		tr := NewTrig(n)
+		tr := mustTrig(t, n)
 		got := make([]float64, n)
 		tr.AnalyzeCos(got, f)
 		for i := range got {
@@ -210,7 +232,7 @@ func TestSynthCosSinMatchesNaive(t *testing.T) {
 			F[i] = rng.NormFloat64()
 		}
 		wantC, wantS := naiveSynth(F)
-		tr := NewTrig(n)
+		tr := mustTrig(t, n)
 		gotC := make([]float64, n)
 		gotS := make([]float64, n)
 		tr.SynthCosSin(gotC, gotS, F)
@@ -229,7 +251,7 @@ func TestAnalyzeSynthRoundTrip(t *testing.T) {
 	// DCT-II followed by properly scaled cosine synthesis reconstructs f.
 	rng := rand.New(rand.NewSource(6))
 	n := 64
-	tr := NewTrig(n)
+	tr := mustTrig(t, n)
 	f := make([]float64, n)
 	for i := range f {
 		f[i] = rng.NormFloat64()
@@ -251,7 +273,7 @@ func TestAnalyzeSynthRoundTrip(t *testing.T) {
 }
 
 func TestSynthNilOutputs(t *testing.T) {
-	tr := NewTrig(8)
+	tr := mustTrig(t, 8)
 	F := make([]float64, 8)
 	F[1] = 1
 	// Must not panic with either output nil.
@@ -263,7 +285,7 @@ func TestSynthNilOutputs(t *testing.T) {
 
 func BenchmarkFFT1024(b *testing.B) {
 	n := 1024
-	f := NewFFT(n)
+	f := mustFFT(b, n)
 	re := make([]float64, n)
 	im := make([]float64, n)
 	for i := range re {
@@ -277,7 +299,7 @@ func BenchmarkFFT1024(b *testing.B) {
 
 func BenchmarkAnalyzeCos256(b *testing.B) {
 	n := 256
-	tr := NewTrig(n)
+	tr := mustTrig(b, n)
 	f := make([]float64, n)
 	out := make([]float64, n)
 	for i := range f {

@@ -1,6 +1,9 @@
 package spectral
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Trig provides half-sample cosine analysis and cosine/sine synthesis of a
 // fixed power-of-two length n, sharing one length-2n FFT plan. These are the
@@ -23,14 +26,19 @@ type Trig struct {
 	phC2 []float64 // cos(π u / 2n) reused for synthesis phase
 }
 
-// NewTrig creates a plan for length n (a power of two).
-func NewTrig(n int) *Trig {
+// NewTrig creates a plan for length n. n must be a power of two; any other
+// length fails with an error matching ErrNotPow2.
+func NewTrig(n int) (*Trig, error) {
 	if !IsPow2(n) {
-		panic("spectral: Trig length must be a power of two")
+		return nil, fmt.Errorf("spectral: Trig length %d: %w", n, ErrNotPow2)
+	}
+	fft, err := NewFFT(2 * n)
+	if err != nil {
+		return nil, err
 	}
 	t := &Trig{
 		n:   n,
-		fft: NewFFT(2 * n),
+		fft: fft,
 		re:  make([]float64, 2*n),
 		im:  make([]float64, 2*n),
 		phC: make([]float64, n),
@@ -42,7 +50,7 @@ func NewTrig(n int) *Trig {
 		t.phS[u] = math.Sin(ang)
 	}
 	t.phC2 = t.phC
-	return t
+	return t, nil
 }
 
 // Len returns the plan length.

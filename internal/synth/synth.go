@@ -73,6 +73,43 @@ type Params struct {
 	CapacityScale float64
 }
 
+// maxSynthPins bounds the expected pin count of a generated design; params
+// whose net budget would exceed it are rejected up front rather than left to
+// exhaust memory mid-generation (a 1M-cell superblue sits near 4M pins).
+const maxSynthPins = 256 << 20
+
+// Validate rejects parameter sets that cannot generate a well-formed design:
+// non-positive or overflow-prone sizes, out-of-range ratios. FromParams runs
+// it automatically; callers constructing Params programmatically can call it
+// early for a better error site.
+func (p *Params) Validate() error {
+	if p.NumCells <= 0 {
+		return fmt.Errorf("synth: %s: NumCells must be positive", p.Name)
+	}
+	if p.Utilization <= 0 || p.Utilization >= 1 {
+		return fmt.Errorf("synth: %s: utilization %v out of (0,1)", p.Name, p.Utilization)
+	}
+	if p.Macros > 0 && (p.MacroFrac <= 0 || p.MacroFrac >= 0.8) {
+		return fmt.Errorf("synth: %s: MacroFrac %v out of range", p.Name, p.MacroFrac)
+	}
+	if p.NetsPerCell < 0 || p.TwoPinFrac < 0 || p.TwoPinFrac > 1 {
+		return fmt.Errorf("synth: %s: NetsPerCell/TwoPinFrac out of range", p.Name)
+	}
+	if p.Macros < 0 || p.IOPads < 0 || p.HighFanout < 0 || p.HotModules < 0 || p.MaxDegree < 0 {
+		return fmt.Errorf("synth: %s: negative structural count", p.Name)
+	}
+	// Overflow guard: the expected pin count must fit comfortably in memory
+	// (and in int32-adjacent downstream math). All factors are evaluated in
+	// float64 so a hostile NumCells×MaxDegree product cannot wrap around.
+	deg := float64(maxInt(p.MaxDegree, 2))
+	boost := math.Max(p.HotNetBoost, 1)
+	pins := float64(p.NumCells) * math.Max(p.NetsPerCell, 1) * deg * boost
+	if pins > maxSynthPins {
+		return fmt.Errorf("synth: %s: expected pin count %.3g exceeds the %d limit", p.Name, pins, maxSynthPins)
+	}
+	return nil
+}
+
 // seedFor derives a stable RNG seed from the design name.
 func seedFor(name string) int64 {
 	h := fnv.New64a()
@@ -169,6 +206,21 @@ func Catalog() map[string]Params {
 	add(superblue("superblue16_a", 8500, 0.42, 0.22, 0.66, 1.23, 18, 4, 2.4))
 	add(superblue("superblue19", 7000, 0.40, 0.24, 0.66, 1.55, 18, 4, 2.6))
 
+	// superblue *_big family: the large-scale targets of the multilevel flow
+	// (100k–1M movable cells, near the published superblue sizes). Same
+	// family character as the Table I superblues, more IO and high-fanout
+	// structure; generation streams in O(cells) memory.
+	big := func(name string, cells, macros int, util, macroFrac, capScale float64) Params {
+		p := superblue(name, cells, util, macroFrac, 0.70, capScale, macros, 8, 2.0)
+		p.IOPads = 400
+		p.HighFanout = 8
+		return p
+	}
+	add(big("superblue1_big", 100_000, 32, 0.45, 0.22, 1.35))
+	add(big("superblue4_big", 250_000, 40, 0.45, 0.22, 1.40))
+	add(big("superblue11_big", 500_000, 48, 0.42, 0.24, 1.45))
+	add(big("superblue19_big", 1_000_000, 56, 0.42, 0.24, 1.50))
+
 	// Tiny designs for unit and integration tests.
 	add(Params{Name: "tiny_open", NumCells: 300, Utilization: 0.40, AspectRatio: 1.0,
 		Macros: 0, MacroLayout: MacroNone,
@@ -179,6 +231,12 @@ func Catalog() map[string]Params {
 		NetsPerCell: 1.10, TwoPinFrac: 0.62, MaxDegree: 8, HighFanout: 2, Locality: 0.72,
 		IOPads: 16, HotModules: 2, HotNetBoost: 2.5, RowsPerRail: 2, RouteLayers: 4, CapacityScale: 0.48})
 	return m
+}
+
+// BigDesigns lists the large-scale superblue families in ascending size
+// (100k, 250k, 500k, 1M movable cells) — the multilevel flow's targets.
+func BigDesigns() []string {
+	return []string{"superblue1_big", "superblue4_big", "superblue11_big", "superblue19_big"}
 }
 
 // Table1Designs lists the 20 Table I design names in paper order.
@@ -223,8 +281,8 @@ func MustGenerate(name string) *netlist.Design {
 
 // FromParams builds a design from an explicit parameter set.
 func FromParams(p Params) (*netlist.Design, error) {
-	if p.NumCells <= 0 {
-		return nil, fmt.Errorf("synth: %s: NumCells must be positive", p.Name)
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seedFor(p.Name)))
 
@@ -244,15 +302,9 @@ func FromParams(p Params) (*netlist.Design, error) {
 
 	// Die sizing: free area = movable/util; total = free/(1-macroFrac).
 	util := p.Utilization
-	if util <= 0 || util >= 1 {
-		return nil, fmt.Errorf("synth: %s: utilization %v out of (0,1)", p.Name, util)
-	}
 	freeArea := movArea / util
 	total := freeArea
 	if p.Macros > 0 {
-		if p.MacroFrac <= 0 || p.MacroFrac >= 0.8 {
-			return nil, fmt.Errorf("synth: %s: MacroFrac %v out of range", p.Name, p.MacroFrac)
-		}
 		total = freeArea / (1 - p.MacroFrac)
 	}
 	ar := p.AspectRatio
@@ -313,6 +365,15 @@ func FromParams(p Params) (*netlist.Design, error) {
 	stdIdx := func(k int) int { return firstStd + k }
 	cellPinBudget := make([]int, p.NumCells)
 
+	// Per-net duplicate-pin rejection uses one reusable epoch-stamped array
+	// instead of a fresh map per net, keeping generation allocation-free per
+	// net and O(cells) overall — the property that lets the *_big families
+	// stream out at 1M cells.
+	stamp := make([]int, p.NumCells)
+	epoch := 0
+	taken := func(ci int) bool { return stamp[ci] == epoch }
+	take := func(ci int) { stamp[ci] = epoch }
+
 	for e := 0; e < numNets; e++ {
 		deg := sampleDegree(rng, p)
 		// Window: with prob Locality, small window (cluster); otherwise wide.
@@ -337,16 +398,16 @@ func FromParams(p Params) (*netlist.Design, error) {
 			start = rng.Intn(p.NumCells - window + 1)
 		}
 		net := b.AddNet(fmt.Sprintf("n%d", e), 1)
-		seen := map[int]bool{}
+		epoch++
 		for k := 0; k < deg; k++ {
 			var ci int
 			for {
 				ci = start + rng.Intn(window)
-				if !seen[ci] {
+				if !taken(ci) {
 					break
 				}
 			}
-			seen[ci] = true
+			take(ci)
 			cellPinBudget[ci]++
 			w := widths[ci]
 			offX := (rng.Float64() - 0.5) * w * 0.8
@@ -384,16 +445,16 @@ func FromParams(p Params) (*netlist.Design, error) {
 					deg = modSize
 				}
 				net := b.AddNet(fmt.Sprintf("hot%d_%d", hm, e), 1)
-				seen := map[int]bool{}
+				epoch++
 				for k := 0; k < deg; k++ {
 					var ci int
 					for {
 						ci = start + rng.Intn(modSize)
-						if !seen[ci] {
+						if !taken(ci) {
 							break
 						}
 					}
-					seen[ci] = true
+					take(ci)
 					b.Connect(stdIdx(ci), net, 0, 0)
 				}
 			}
@@ -404,13 +465,15 @@ func FromParams(p Params) (*netlist.Design, error) {
 	for h := 0; h < p.HighFanout; h++ {
 		net := b.AddNet(fmt.Sprintf("hf%d", h), 1)
 		fan := 30 + rng.Intn(40)
-		seen := map[int]bool{}
-		for k := 0; k < fan && len(seen) < p.NumCells; k++ {
+		epoch++
+		connected := 0
+		for k := 0; k < fan && connected < p.NumCells; k++ {
 			ci := rng.Intn(p.NumCells)
-			if seen[ci] {
+			if taken(ci) {
 				continue
 			}
-			seen[ci] = true
+			take(ci)
+			connected++
 			b.Connect(stdIdx(ci), net, 0, 0)
 		}
 	}

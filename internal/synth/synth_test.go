@@ -1,7 +1,10 @@
 package synth
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
+	"os"
 	"testing"
 
 	"repro/internal/netlist"
@@ -177,7 +180,14 @@ func TestAllCatalogDesignsGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generates every design")
 	}
+	cat := Catalog()
 	for _, name := range Names() {
+		if cat[name].NumCells > 150_000 && os.Getenv("SYNTH_BIG") == "" {
+			// The 250k–1M designs generate fine but dominate the suite's
+			// runtime under -race; TestBigDesignDeterministicHash covers the
+			// family at 100k. Set SYNTH_BIG=1 to include them.
+			continue
+		}
 		d, err := Generate(name)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
@@ -190,6 +200,69 @@ func TestAllCatalogDesignsGenerate(t *testing.T) {
 		if s.NumMovable == 0 || s.NumNets == 0 {
 			t.Errorf("%s: degenerate design %+v", name, s)
 		}
+	}
+}
+
+// hashDesign digests the full generated structure — geometry bits included —
+// so any cross-platform or cross-release drift in generation shows up as a
+// hash mismatch, not as a silent placement difference.
+func hashDesign(d *netlist.Design) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(len(d.Cells)))
+	u64(uint64(len(d.Nets)))
+	u64(uint64(len(d.Pins)))
+	u64(uint64(len(d.Rails)))
+	f64(d.Die.W())
+	f64(d.Die.H())
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		u64(uint64(c.Kind))
+		f64(c.X)
+		f64(c.Y)
+		f64(c.W)
+		f64(c.H)
+	}
+	for i := range d.Pins {
+		p := &d.Pins[i]
+		u64(uint64(p.Cell))
+		u64(uint64(p.Net))
+		f64(p.OffX)
+		f64(p.OffY)
+	}
+	for i := range d.Nets {
+		u64(uint64(len(d.Nets[i].Pins)))
+	}
+	return h.Sum64()
+}
+
+// TestBigDesignDeterministicHash pins the 100k-cell superblue1_big design to
+// a golden digest: large-design generation must be bit-stable across
+// platforms, Go releases and refactors of the generator's inner loops (the
+// multilevel scale tests and the CI scale-smoke job all assume it). If an
+// INTENTIONAL generator change shifts the digest, update the constant here
+// and re-baseline the bench gate.
+func TestBigDesignDeterministicHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a 100k-cell design")
+	}
+	d := MustGenerate("superblue1_big")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.ComputeStats()
+	if s.NumMovable != 100_000 {
+		t.Fatalf("superblue1_big has %d movable cells, want 100000", s.NumMovable)
+	}
+	const golden = 0x75996f2b1264d178
+	got := hashDesign(d)
+	if got != golden {
+		t.Fatalf("superblue1_big digest %#x, want %#x", got, golden)
 	}
 }
 

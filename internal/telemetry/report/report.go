@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -149,6 +150,49 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// StageLevel splits a multilevel stage or span name into its hierarchy
+// level and bare name: "L2/wirelength" → (2, "wirelength"). Flat names and
+// malformed prefixes are level 0 with the name unchanged.
+func StageLevel(name string) (int, string) {
+	if rest, ok := strings.CutPrefix(name, "L"); ok {
+		if lvl, bare, found := strings.Cut(rest, "/"); found {
+			if n, err := strconv.Atoi(lvl); err == nil && n >= 1 {
+				return n, bare
+			}
+		}
+	}
+	return 0, name
+}
+
+// LevelGroup is one hierarchy level's slice of the per-stage timing table;
+// Stages carry the bare (prefix-stripped) names.
+type LevelGroup struct {
+	Level  int
+	Stages []telemetry.StageTiming
+}
+
+// LevelStages groups the per-stage timings by multilevel hierarchy level,
+// coarsest level first — the order a multilevel run executes them. A flat
+// trace yields a single level-0 group identical to Trace.Stages.
+func (t *Trace) LevelStages() []LevelGroup {
+	byLevel := map[int][]telemetry.StageTiming{}
+	var levels []int
+	for _, s := range t.Stages {
+		lvl, bare := StageLevel(s.Name)
+		if _, ok := byLevel[lvl]; !ok {
+			levels = append(levels, lvl)
+		}
+		s.Name = bare
+		byLevel[lvl] = append(byLevel[lvl], s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	groups := make([]LevelGroup, 0, len(levels))
+	for _, lvl := range levels {
+		groups = append(groups, LevelGroup{Level: lvl, Stages: byLevel[lvl]})
+	}
+	return groups
+}
+
 // RootTotal returns the summed duration of the top-level (depth 0) spans.
 func (t *Trace) RootTotal() time.Duration {
 	var total time.Duration
@@ -231,20 +275,35 @@ func (t *Trace) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "\n\n")
 
-	fmt.Fprintf(w, "Per-stage timing\n")
-	fmt.Fprintf(w, "  %-34s %7s %12s %12s %7s\n", "stage", "count", "total", "avg", "%root")
-	for _, s := range t.Stages {
-		indent := strings.Repeat("  ", s.Depth)
-		avg := time.Duration(0)
-		if s.Count > 0 {
-			avg = s.Total / time.Duration(s.Count)
+	groups := t.LevelStages()
+	for gi, g := range groups {
+		if gi > 0 {
+			fmt.Fprintln(w)
 		}
-		pct := 0.0
-		if root > 0 {
-			pct = 100 * float64(s.Total) / float64(root)
+		switch {
+		case len(groups) == 1 && g.Level == 0:
+			// Flat trace: the classic single table, byte-identical to
+			// reports from before the multilevel flow existed.
+			fmt.Fprintf(w, "Per-stage timing\n")
+		case g.Level == 0:
+			fmt.Fprintf(w, "Per-stage timing — level 0 (finest, total %s)\n", fmtDur(levelTotal(g)))
+		default:
+			fmt.Fprintf(w, "Per-stage timing — level %d (coarse, total %s)\n", g.Level, fmtDur(levelTotal(g)))
 		}
-		fmt.Fprintf(w, "  %-34s %7d %12s %12s %6.1f%%\n",
-			indent+s.Name, s.Count, fmtDur(s.Total), fmtDur(avg), pct)
+		fmt.Fprintf(w, "  %-34s %7s %12s %12s %7s\n", "stage", "count", "total", "avg", "%root")
+		for _, s := range g.Stages {
+			indent := strings.Repeat("  ", s.Depth)
+			avg := time.Duration(0)
+			if s.Count > 0 {
+				avg = s.Total / time.Duration(s.Count)
+			}
+			pct := 0.0
+			if root > 0 {
+				pct = 100 * float64(s.Total) / float64(root)
+			}
+			fmt.Fprintf(w, "  %-34s %7d %12s %12s %6.1f%%\n",
+				indent+s.Name, s.Count, fmtDur(s.Total), fmtDur(avg), pct)
+		}
 	}
 
 	for _, name := range t.SnapNames {
@@ -313,6 +372,17 @@ func snapFieldKeys(events []Event) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// levelTotal is the summed duration of one level group's depth-0 spans.
+func levelTotal(g LevelGroup) time.Duration {
+	var total time.Duration
+	for _, s := range g.Stages {
+		if s.Depth == 0 {
+			total += s.Total
+		}
+	}
+	return total
 }
 
 func fmtDur(d time.Duration) string {

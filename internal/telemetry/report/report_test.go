@@ -161,6 +161,122 @@ func TestWriteReport(t *testing.T) {
 	}
 }
 
+func TestStageLevel(t *testing.T) {
+	cases := []struct {
+		name string
+		lvl  int
+		bare string
+	}{
+		{"wirelength", 0, "wirelength"},
+		{"L1/wirelength", 1, "wirelength"},
+		{"L2/route_iter", 2, "route_iter"},
+		{"L12/place", 12, "place"},
+		{"L0/setup", 0, "L0/setup"},   // level 0 never carries a prefix
+		{"Lx/setup", 0, "Lx/setup"},   // malformed: not a level prefix
+		{"Lambda/x", 0, "Lambda/x"},   // "L"-leading word, not a prefix
+		{"legalize", 0, "legalize"},   // starts with L, no slash
+		{"L-1/setup", 0, "L-1/setup"}, // negative levels don't exist
+	}
+	for _, c := range cases {
+		lvl, bare := StageLevel(c.name)
+		if lvl != c.lvl || bare != c.bare {
+			t.Errorf("StageLevel(%q) = (%d, %q), want (%d, %q)", c.name, lvl, bare, c.lvl, c.bare)
+		}
+	}
+}
+
+// emitMultilevelTrace mimics the span stream of a 2-level placement: the
+// coarse level's spans are "L1/"-prefixed, the finest level's are bare.
+func emitMultilevelTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	o := telemetry.NewObserver(&buf)
+	for _, prefix := range []string{"L1/", ""} {
+		root := o.StartSpan(prefix + "place")
+		sp := o.StartSpan(prefix + "phase1_wirelength")
+		sp.End()
+		for i := 0; i < 2; i++ {
+			it := o.StartSpan(prefix + "route_iter")
+			it.End()
+		}
+		root.End()
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLevelStagesGroupsByHierarchyLevel(t *testing.T) {
+	tr, err := ReadTrace(bytes.NewReader(emitMultilevelTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := tr.LevelStages()
+	if len(groups) != 2 {
+		t.Fatalf("got %d level groups, want 2: %+v", len(groups), groups)
+	}
+	if groups[0].Level != 1 || groups[1].Level != 0 {
+		t.Fatalf("level order = [%d %d], want coarsest first [1 0]", groups[0].Level, groups[1].Level)
+	}
+	for _, g := range groups {
+		wantNames := []string{"place", "phase1_wirelength", "route_iter"}
+		if len(g.Stages) != len(wantNames) {
+			t.Fatalf("level %d has %d stages, want %d: %+v", g.Level, len(g.Stages), len(wantNames), g.Stages)
+		}
+		for i, want := range wantNames {
+			if g.Stages[i].Name != want {
+				t.Errorf("level %d stage %d = %q, want bare name %q", g.Level, i, g.Stages[i].Name, want)
+			}
+		}
+	}
+	if groups[0].Stages[2].Count != 2 {
+		t.Errorf("L1 route_iter count = %d, want 2", groups[0].Stages[2].Count)
+	}
+
+	// A flat trace keeps a single level-0 group with the original names.
+	flat, err := ReadTrace(bytes.NewReader(emitTrace(t, 2, 20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := flat.LevelStages()
+	if len(fg) != 1 || fg[0].Level != 0 || len(fg[0].Stages) != len(flat.Stages) {
+		t.Fatalf("flat trace level groups = %+v, want one level-0 group", fg)
+	}
+}
+
+func TestWriteReportPerLevelTables(t *testing.T) {
+	tr, err := ReadTrace(bytes.NewReader(emitMultilevelTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep strings.Builder
+	tr.WriteReport(&rep)
+	out := rep.String()
+	coarse := strings.Index(out, "Per-stage timing — level 1 (coarse")
+	finest := strings.Index(out, "Per-stage timing — level 0 (finest")
+	if coarse < 0 || finest < 0 {
+		t.Fatalf("report missing per-level timing tables:\n%s", out)
+	}
+	if coarse > finest {
+		t.Errorf("coarse level table printed after the finest level:\n%s", out)
+	}
+	if strings.Contains(out, "L1/") {
+		t.Errorf("per-level tables leak the L1/ prefix:\n%s", out)
+	}
+
+	// Flat traces keep the classic single-table header.
+	flat, err := ReadTrace(bytes.NewReader(emitTrace(t, 2, 20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Reset()
+	flat.WriteReport(&rep)
+	if !strings.Contains(rep.String(), "Per-stage timing\n") || strings.Contains(rep.String(), "level 0") {
+		t.Errorf("flat report changed shape:\n%s", rep.String())
+	}
+}
+
 func TestReportMarksVolatileMetrics(t *testing.T) {
 	var buf bytes.Buffer
 	obs := telemetry.NewObserver(&buf)
