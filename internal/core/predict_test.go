@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// predictOpts is fastOpts with the congestion predictor on and a generous
+// threshold, so the gate actually fires within the shortened loop budget.
+func predictOpts() Options {
+	opt := fastOpts(ModeOurs)
+	opt.MaxRouteIters = 10
+	opt.Predict = true
+	opt.PredictThreshold = 0.5
+	return opt
+}
+
+// predictRun places design with the predictor on and returns the result,
+// final positions, canonical trace, and the two gate counters.
+func predictRun(t *testing.T, design string, workers int, opt Options) (*Result, []float64, []byte, int64, int64) {
+	t.Helper()
+	d := synth.MustGenerate(design)
+	var trace bytes.Buffer
+	obs := telemetry.NewObserver(&trace)
+	opt.Workers = workers
+	opt.Observer = obs
+	res, err := Place(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := obs.Counter("route.calls").Value()
+	skips := obs.Counter("route.skipped_calls").Value()
+	if err := obs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]float64, 0, 2*len(d.Cells))
+	for i := range d.Cells {
+		pos = append(pos, d.Cells[i].X, d.Cells[i].Y)
+	}
+	canon, err := telemetry.StripTimings(trace.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pos, canon, calls, skips
+}
+
+// TestPredictSkipsCallsAndKeepsResult: the gate must skip at least one router
+// call (strictly fewer real calls than the predictor-off run) while the loop
+// still terminates and produces a legal result.
+func TestPredictSkipsCallsAndKeepsResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	offOpt := predictOpts()
+	offOpt.Predict = false
+	offOpt.PredictThreshold = 0
+	var offTrace bytes.Buffer
+	offObs := telemetry.NewObserver(&offTrace)
+	offOpt.Workers = 1
+	offOpt.Observer = offObs
+	dOff := synth.MustGenerate("tiny_hot")
+	if _, err := Place(dOff, offOpt); err != nil {
+		t.Fatal(err)
+	}
+	offCalls := offObs.Counter("route.calls").Value()
+
+	res, _, _, calls, skips := predictRun(t, "tiny_hot", 1, predictOpts())
+	if skips == 0 {
+		t.Fatal("predictor never skipped a route call")
+	}
+	if calls >= offCalls {
+		t.Fatalf("predictor-on made %d route calls, predictor-off made %d — want strictly fewer", calls, offCalls)
+	}
+	if res.RouteIters != int(calls) {
+		t.Fatalf("RouteIters %d != route.calls %d: skipped iterations must not count as router calls",
+			res.RouteIters, calls)
+	}
+}
+
+// TestPredictOffRegistersNoMetrics: with Predict off, no predict.* metric may
+// enter the registry — the canonical trace must stay byte-identical to a
+// build without the predictor.
+func TestPredictOffRegistersNoMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement run; skipped in -short")
+	}
+	d := synth.MustGenerate("tiny_hot")
+	obs := telemetry.NewObserver(nil)
+	opt := fastOpts(ModeOurs)
+	opt.Workers = 1
+	opt.Observer = obs
+	if _, err := Place(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range obs.Metrics.Snapshot() {
+		if strings.HasPrefix(m.Name, "predict.") || m.Name == "route.skipped_calls" {
+			t.Errorf("metric %s registered with Predict off", m.Name)
+		}
+	}
+}
+
+// TestPredictIdenticalAcrossWorkerCounts: with the predictor on, placements
+// and canonical traces must stay bitwise identical for any worker count —
+// the gate decisions are a pure function of deterministic feature planes.
+func TestPredictIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	_, refPos, refTrace, _, refSkips := predictRun(t, "tiny_hot", 1, predictOpts())
+	if refSkips == 0 {
+		t.Fatal("test needs at least one skipped call to exercise the gated path")
+	}
+	for _, w := range []int{4, 16} {
+		_, pos, canon, _, skips := predictRun(t, "tiny_hot", w, predictOpts())
+		if skips != refSkips {
+			t.Fatalf("workers=%d skipped %d calls, workers=1 skipped %d", w, skips, refSkips)
+		}
+		for i := range refPos {
+			if math.Float64bits(pos[i]) != math.Float64bits(refPos[i]) {
+				t.Fatalf("workers=%d coordinate %d differs bitwise from workers=1", w, i)
+			}
+		}
+		if !bytes.Equal(canon, refTrace) {
+			t.Fatalf("workers=%d canonical trace differs from workers=1", w)
+		}
+	}
+}
+
+// TestPredictCheckpointResume: a predictor-on run checkpointed mid-loop must
+// resume to the identical placement AND the identical canonical trace — the
+// oracle's normal equations, weights and gate reference ride the checkpoint.
+func TestPredictCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement runs; skipped in -short")
+	}
+	refRes, refPos, refTrace, _, refSkips := predictRun(t, "tiny_hot", 1, predictOpts())
+	if refSkips == 0 {
+		t.Fatal("test needs at least one skipped call after the checkpoint")
+	}
+
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt")
+	var buf1 bytes.Buffer
+	opt := predictOpts()
+	opt.Workers = 1
+	opt.Observer = telemetry.NewObserver(&buf1)
+	opt.CheckpointPath = ckPath
+	opt.CheckpointAfter = "route_iter:1"
+	d := synth.MustGenerate("tiny_hot")
+	if _, err := Place(d, opt); !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("Place returned %v, want ErrCheckpointed", err)
+	}
+
+	var buf2 bytes.Buffer
+	obs2 := telemetry.NewObserver(&buf2)
+	d2 := synth.MustGenerate("tiny_hot")
+	ckf, err := os.Open(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResumeContext(context.Background(), d2, ckf, Options{Workers: 1, Observer: obs2})
+	ckf.Close()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := obs2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d2.Cells {
+		if math.Float64bits(d2.Cells[i].X) != math.Float64bits(refPos[2*i]) ||
+			math.Float64bits(d2.Cells[i].Y) != math.Float64bits(refPos[2*i+1]) {
+			t.Fatalf("cell %d position differs from uninterrupted run", i)
+		}
+	}
+	if res.RouteIters != refRes.RouteIters || res.HPWLFinal != refRes.HPWLFinal {
+		t.Errorf("result summary differs: %+v vs %+v", res, refRes)
+	}
+	concat := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+	canon, err := telemetry.StripTimings(concat)
+	if err != nil {
+		t.Fatalf("concatenated trace does not canonicalize: %v", err)
+	}
+	if !bytes.Equal(canon, refTrace) {
+		a := strings.Split(string(refTrace), "\n")
+		b := strings.Split(string(canon), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("canonical traces diverge at line %d:\n  uninterrupted: %.200s\n  resumed:       %.200s",
+					i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("canonical traces differ in length: %d vs %d lines", len(a), len(b))
+	}
+}
+
+// TestPredictCheckpointRoundTrip: a checkpoint captured mid-loop with the
+// predictor on must carry the predict record and round-trip byte-identically.
+func TestPredictCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement run; skipped in -short")
+	}
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt")
+	opt := predictOpts()
+	opt.Workers = 1
+	opt.CheckpointPath = ckPath
+	opt.CheckpointAfter = "route_iter:1"
+	d := synth.MustGenerate("tiny_hot")
+	if _, err := Place(d, opt); !errors.Is(err, ErrCheckpointed) {
+		t.Fatal("expected ErrCheckpointed")
+	}
+	raw, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := readCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Predict || len(ck.PredATA) == 0 || len(ck.PredRef) == 0 {
+		t.Fatalf("checkpoint misses predictor state: predict=%v ata=%d ref=%d",
+			ck.Predict, len(ck.PredATA), len(ck.PredRef))
+	}
+	var rewritten bytes.Buffer
+	if err := writeCheckpoint(&rewritten, ck); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, rewritten.Bytes()) {
+		t.Fatal("predictor checkpoint is not canonical (write→read→write differs)")
+	}
+}
+
+// TestPredictResumeOptionMismatch: resuming a predictor-off checkpoint with
+// Predict set must be refused — it could not reproduce the original run.
+func TestPredictResumeOptionMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement run; skipped in -short")
+	}
+	ckPath := checkpointAt(t, "tiny_hot", "wirelength", nil)
+	d := synth.MustGenerate("tiny_hot")
+	ckb, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ResumeContext(context.Background(), d, bytes.NewReader(ckb), Options{Predict: true})
+	if err == nil || !strings.Contains(err.Error(), "Predict") {
+		t.Fatalf("resume with conflicting Predict returned %v, want Options.Predict mismatch", err)
+	}
+	_, err = ResumeContext(context.Background(), d, bytes.NewReader(ckb), Options{MLWarmStart: true})
+	if err == nil || !strings.Contains(err.Error(), "MLWarmStart") {
+		t.Fatalf("resume with conflicting MLWarmStart returned %v, want Options.MLWarmStart mismatch", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package predict implements a cheap, deterministic, per-G-cell congestion
+// predictor: a ridge regression over RUDY, pin-density and macro-proximity
+// feature planes (internal/route.FeatureMaps), fitted online against the
+// pattern router's own utilization maps. The routability stage uses it two
+// ways — to SKIP router calls whose predicted congestion delta since the
+// last real call is below threshold, and to SEED inflation with predicted
+// utilization between real calls (see DESIGN.md §13).
+//
+// Everything is serial fixed-order float arithmetic over deterministic
+// inputs (the feature planes are shard-merged, bitwise-identical at every
+// worker count), so predictions, gate decisions and therefore the whole
+// placement trajectory are byte-identical across -workers settings. The
+// accumulated normal equations, weights and reference prediction serialize
+// through the checkpoint so resume replays the identical gate sequence.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/route"
+)
+
+// K is the feature dimension: bias, capacity-normalized RUDY, its 3×3 blur,
+// pin density, its blur, and the static capacity ratio (macro proximity).
+const K = 6
+
+// DefaultRidge is the ridge coefficient λ; the effective regularizer is
+// λ·rows so the prior keeps a constant weight relative to the data as
+// observations accumulate.
+const DefaultRidge = 1e-2
+
+// Oracle is the online ridge-regression congestion predictor. The zero
+// value is not usable; construct with New.
+type Oracle struct {
+	Ridge float64
+
+	rows    int  // total observations (G-cells) accumulated
+	fits    int  // completed Observe calls (refits)
+	trained bool // at least one successful fit
+
+	ata []float64 // K×K normal matrix AᵀA, row-major
+	atb []float64 // K-vector Aᵀb
+	w   []float64 // fitted weights
+
+	// refPred is the per-G-cell predicted utilization at the features of
+	// the last REAL router call (set by Rebase); Gate measures drift
+	// against it.
+	refPred []float64
+	pred    []float64 // scratch for the latest prediction
+
+	capTot  []float64 // static CapTotal per G-cell (feature normalizer)
+	avgPins float64   // static pins-per-G-cell normalizer
+}
+
+// New builds an oracle for grid g. The normalizers are static per design:
+// per-G-cell total capacity and the average pin count per G-cell.
+func New(g *route.Grid, totalPins int) *Oracle {
+	n := g.NX * g.NY
+	o := &Oracle{
+		Ridge:   DefaultRidge,
+		ata:     make([]float64, K*K),
+		atb:     make([]float64, K),
+		w:       make([]float64, K),
+		refPred: make([]float64, n),
+		pred:    make([]float64, n),
+		capTot:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		o.capTot[i] = g.CapTotal(i)
+	}
+	o.avgPins = float64(totalPins) / float64(n)
+	if o.avgPins <= 0 {
+		o.avgPins = 1
+	}
+	return o
+}
+
+// Trained reports whether at least one fit has completed — the gate never
+// skips before the first real router call has been observed.
+func (o *Oracle) Trained() bool { return o.trained }
+
+// Fits returns the number of completed Observe calls.
+func (o *Oracle) Fits() int { return o.fits }
+
+// featureRow writes the K features of G-cell i into x.
+func (o *Oracle) featureRow(f *route.FeatureMaps, i int, x *[K]float64) {
+	c := o.capTot[i]
+	if c < 1 {
+		c = 1
+	}
+	x[0] = 1
+	x[1] = f.RUDY[i] / c
+	x[2] = f.RUDYBlur[i] / c
+	x[3] = f.PinCount[i] / o.avgPins
+	x[4] = f.PinBlur[i] / o.avgPins
+	x[5] = f.CapRatio[i]
+}
+
+// Observe accumulates one (features, utilization) pair per G-cell into the
+// normal equations and refits the weights. util is the router's un-clamped
+// Util map; the accumulation walks G-cells in index order, serially, so the
+// sums are a pure function of the inputs.
+func (o *Oracle) Observe(f *route.FeatureMaps, util []float64) {
+	var x [K]float64
+	for i := range util {
+		o.featureRow(f, i, &x)
+		y := util[i]
+		for a := 0; a < K; a++ {
+			for b := a; b < K; b++ {
+				o.ata[a*K+b] += x[a] * x[b]
+			}
+			o.atb[a] += x[a] * y
+		}
+	}
+	o.rows += len(util)
+	o.fits++
+	o.refit()
+}
+
+// refit solves (AᵀA + λ·rows·I) w = Aᵀb by Cholesky decomposition. On a
+// non-positive pivot (degenerate data despite the ridge) the previous
+// weights are kept and the oracle stays/becomes untrained.
+func (o *Oracle) refit() {
+	var m [K * K]float64
+	for a := 0; a < K; a++ {
+		for b := a; b < K; b++ {
+			v := o.ata[a*K+b]
+			m[a*K+b] = v
+			m[b*K+a] = v
+		}
+	}
+	lambda := o.Ridge * float64(o.rows)
+	for a := 0; a < K; a++ {
+		m[a*K+a] += lambda
+	}
+	var l [K * K]float64
+	for a := 0; a < K; a++ {
+		for b := 0; b <= a; b++ {
+			s := m[a*K+b]
+			for c := 0; c < b; c++ {
+				s -= l[a*K+c] * l[b*K+c]
+			}
+			if a == b {
+				if s <= 0 {
+					return // keep previous weights
+				}
+				l[a*K+a] = math.Sqrt(s)
+			} else {
+				l[a*K+b] = s / l[b*K+b]
+			}
+		}
+	}
+	// Forward then back substitution: L z = Aᵀb, Lᵀ w = z.
+	var z [K]float64
+	for a := 0; a < K; a++ {
+		s := o.atb[a]
+		for c := 0; c < a; c++ {
+			s -= l[a*K+c] * z[c]
+		}
+		z[a] = s / l[a*K+a]
+	}
+	for a := K - 1; a >= 0; a-- {
+		s := z[a]
+		for c := a + 1; c < K; c++ {
+			s -= l[c*K+a] * o.w[c]
+		}
+		o.w[a] = s / l[a*K+a]
+	}
+	o.trained = true
+}
+
+// PredictInto evaluates the fitted model at the current features and
+// returns the predicted per-G-cell utilization. The returned slice is owned
+// by the oracle and reused across calls.
+func (o *Oracle) PredictInto(f *route.FeatureMaps) []float64 {
+	var x [K]float64
+	for i := range o.pred {
+		o.featureRow(f, i, &x)
+		var s float64
+		for a := 0; a < K; a++ {
+			s += o.w[a] * x[a]
+		}
+		o.pred[i] = s
+	}
+	return o.pred
+}
+
+// Pred returns the most recent prediction computed by PredictInto (and thus
+// by Gate). The slice is owned by the oracle and reused across calls.
+func (o *Oracle) Pred() []float64 { return o.pred }
+
+// Gate predicts utilization at the current features and returns the mean
+// absolute delta against the reference prediction (the prediction at the
+// last real router call) plus the skip decision: skip is true exactly when
+// the oracle is trained and the drift is below threshold. The delta is what
+// the predict.gate_delta gauge reports.
+func (o *Oracle) Gate(f *route.FeatureMaps, threshold float64) (delta float64, skip bool) {
+	if !o.trained {
+		return 0, false
+	}
+	pred := o.PredictInto(f)
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - o.refPred[i])
+	}
+	delta = s / float64(len(pred))
+	return delta, delta < threshold
+}
+
+// Rebase snapshots the prediction at the current features (and current
+// weights) as the new reference. Call it immediately after Observe on every
+// real router call.
+func (o *Oracle) Rebase(f *route.FeatureMaps) {
+	copy(o.refPred, o.PredictInto(f))
+}
+
+// State is the serializable predictor state; all of it rides through the
+// canonical checkpoint so a resumed run replays identical gate decisions.
+type State struct {
+	Rows    int
+	Fits    int
+	Trained bool
+	ATA     []float64
+	ATB     []float64
+	W       []float64
+	RefPred []float64
+}
+
+// State captures the oracle's mutable state (the static normalizers are
+// reconstructed from the design on restore).
+func (o *Oracle) State() State {
+	return State{
+		Rows:    o.rows,
+		Fits:    o.fits,
+		Trained: o.trained,
+		ATA:     append([]float64(nil), o.ata...),
+		ATB:     append([]float64(nil), o.atb...),
+		W:       append([]float64(nil), o.w...),
+		RefPred: append([]float64(nil), o.refPred...),
+	}
+}
+
+// Restore overwrites the oracle's mutable state with a checkpoint capture.
+func (o *Oracle) Restore(s State) error {
+	if len(s.ATA) != K*K || len(s.ATB) != K || len(s.W) != K {
+		return fmt.Errorf("predict: state dimension mismatch (ata=%d atb=%d w=%d, want %d/%d/%d)",
+			len(s.ATA), len(s.ATB), len(s.W), K*K, K, K)
+	}
+	if len(s.RefPred) != len(o.refPred) {
+		return fmt.Errorf("predict: refpred length %d, want %d G-cells", len(s.RefPred), len(o.refPred))
+	}
+	o.rows = s.Rows
+	o.fits = s.Fits
+	o.trained = s.Trained
+	copy(o.ata, s.ATA)
+	copy(o.atb, s.ATB)
+	copy(o.w, s.W)
+	copy(o.refPred, s.RefPred)
+	return nil
+}

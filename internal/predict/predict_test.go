@@ -1,0 +1,175 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+)
+
+// testGrid builds a literal 4×4 grid with uniform capacity 10 per G-cell.
+func testGrid() *route.Grid {
+	g := &route.Grid{
+		NX:       4,
+		NY:       4,
+		Layers:   2,
+		CellW:    10,
+		CellH:    10,
+		Die:      geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 40, Y: 40}},
+		LayerDir: []route.Dir{route.Horizontal, route.Vertical},
+	}
+	g.Cap = make([][]float64, 2)
+	for l := range g.Cap {
+		g.Cap[l] = make([]float64, 16)
+		for i := range g.Cap[l] {
+			g.Cap[l][i] = 5
+		}
+	}
+	return g
+}
+
+// fillFeatures writes deterministic, linearly independent feature planes:
+// the seed varies the planes between Observe calls so the normal matrix
+// becomes well-conditioned.
+func fillFeatures(f *route.FeatureMaps, seed float64) {
+	for i := range f.RUDY {
+		fi := float64(i)
+		f.RUDY[i] = 3 + 0.5*fi + seed
+		f.RUDYBlur[i] = 2 + 0.25*fi*fi/10 - seed
+		f.PinCount[i] = float64(i % 5)
+		f.PinBlur[i] = 1 + 0.1*fi + 0.3*seed
+		f.CapRatio[i] = 1 - 0.02*fi
+	}
+}
+
+// linearTarget evaluates a known linear model over the oracle's own feature
+// rows, so the regression has an exactly recoverable optimum.
+func linearTarget(o *Oracle, f *route.FeatureMaps, wTrue [K]float64) []float64 {
+	util := make([]float64, len(f.RUDY))
+	var x [K]float64
+	for i := range util {
+		o.featureRow(f, i, &x)
+		var s float64
+		for a := 0; a < K; a++ {
+			s += wTrue[a] * x[a]
+		}
+		util[i] = s
+	}
+	return util
+}
+
+// TestOracleRecoversLinearModel: fitted predictions on noiseless linear data
+// must land within the ridge bias of the targets.
+func TestOracleRecoversLinearModel(t *testing.T) {
+	g := testGrid()
+	o := New(g, 48)
+	f := route.NewFeatureMaps(g)
+	wTrue := [K]float64{0.2, 0.8, 0.1, 0.3, 0.05, -0.4}
+	for call := 0; call < 4; call++ {
+		fillFeatures(f, float64(call))
+		o.Observe(f, linearTarget(o, f, wTrue))
+	}
+	if !o.Trained() {
+		t.Fatal("oracle not trained after 4 observations")
+	}
+	if o.Fits() != 4 {
+		t.Fatalf("fits = %d, want 4", o.Fits())
+	}
+	fillFeatures(f, 1.5) // unseen features
+	want := linearTarget(o, f, wTrue)
+	got := o.PredictInto(f)
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 0.05 {
+			t.Fatalf("pred[%d] = %v, want %v (|Δ|=%v)", i, got[i], want[i], d)
+		}
+	}
+}
+
+// TestGate: untrained oracles never skip; after Rebase the gate skips at
+// unchanged features and opens once features drift past the threshold.
+func TestGate(t *testing.T) {
+	g := testGrid()
+	o := New(g, 48)
+	f := route.NewFeatureMaps(g)
+	fillFeatures(f, 0)
+	if delta, skip := o.Gate(f, 1e9); skip || delta != 0 {
+		t.Fatalf("untrained gate returned (delta=%v, skip=%v), want (0, false)", delta, skip)
+	}
+	wTrue := [K]float64{0.2, 0.8, 0.1, 0.3, 0.05, -0.4}
+	for call := 0; call < 3; call++ {
+		fillFeatures(f, float64(call))
+		o.Observe(f, linearTarget(o, f, wTrue))
+	}
+	fillFeatures(f, 2)
+	o.Rebase(f)
+	if delta, skip := o.Gate(f, 1e-12); !skip || delta != 0 {
+		t.Fatalf("gate at rebase features returned (delta=%v, skip=%v), want (0, true)", delta, skip)
+	}
+	fillFeatures(f, 7)
+	delta, skip := o.Gate(f, 1e-12)
+	if skip {
+		t.Fatalf("gate skipped after a large feature drift (delta=%v)", delta)
+	}
+	if delta <= 0 {
+		t.Fatalf("drifted features produced delta=%v, want > 0", delta)
+	}
+}
+
+// TestStateRoundTrip: a restored oracle must be bitwise-indistinguishable
+// from the original — identical predictions, gate deltas and further fits.
+func TestStateRoundTrip(t *testing.T) {
+	g := testGrid()
+	o := New(g, 48)
+	f := route.NewFeatureMaps(g)
+	wTrue := [K]float64{0.1, 0.6, 0.2, 0.1, 0.1, -0.2}
+	for call := 0; call < 3; call++ {
+		fillFeatures(f, float64(call))
+		o.Observe(f, linearTarget(o, f, wTrue))
+	}
+	fillFeatures(f, 1)
+	o.Rebase(f)
+	st := o.State()
+
+	o2 := New(g, 48)
+	if err := o2.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	fillFeatures(f, 4)
+	p1 := append([]float64(nil), o.PredictInto(f)...)
+	p2 := o2.PredictInto(f)
+	for i := range p1 {
+		if math.Float64bits(p1[i]) != math.Float64bits(p2[i]) {
+			t.Fatalf("pred[%d] differs bitwise after restore", i)
+		}
+	}
+	d1, s1 := o.Gate(f, 0.05)
+	d2, s2 := o2.Gate(f, 0.05)
+	if math.Float64bits(d1) != math.Float64bits(d2) || s1 != s2 {
+		t.Fatalf("gate differs after restore: (%v,%v) vs (%v,%v)", d1, s1, d2, s2)
+	}
+	// Continue training both; they must stay locked together.
+	fillFeatures(f, 5)
+	util := linearTarget(o, f, wTrue)
+	o.Observe(f, util)
+	o2.Observe(f, util)
+	w1 := o.State().W
+	w2 := o2.State().W
+	for a := range w1 {
+		if math.Float64bits(w1[a]) != math.Float64bits(w2[a]) {
+			t.Fatalf("w[%d] diverges after post-restore fit", a)
+		}
+	}
+
+	// Dimension mismatches are rejected.
+	bad := st
+	bad.ATB = bad.ATB[:K-1]
+	if err := o2.Restore(bad); err == nil {
+		t.Fatal("short ATB accepted")
+	}
+	bad = st
+	bad.RefPred = bad.RefPred[:3]
+	if err := o2.Restore(bad); err == nil {
+		t.Fatal("short RefPred accepted")
+	}
+}

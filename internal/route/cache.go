@@ -132,6 +132,12 @@ func (r *Router) updateDecomposition() {
 			dc.fresh = append(dc.fresh, sseg{dc.netSegs[e][k], int32(e), int32(k)})
 		}
 	}
+	// Counter invariant: exactly one Add per counter per route call, and every
+	// active net lands in exactly one of the two buckets — the moved-hint
+	// branch and the signature branch above are mutually exclusive, so a net
+	// can never be counted dirty twice (or dirty AND clean) within a call.
+	// Both counters feed the canonical trace; the arithmetic is pinned by
+	// TestDirtyNetCountsPinnedTwoCall.
 	r.CacheHits.Add(int64(clean))
 	r.DirtyNets.Add(int64(dirtyN))
 	dc.valid = true

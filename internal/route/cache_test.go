@@ -241,3 +241,104 @@ func TestDecompositionSignatureRoundTrip(t *testing.T) {
 		t.Fatalf("out-of-range G-cell accepted")
 	}
 }
+
+// TestDirtyNetCountsPinnedTwoCall pins the exact counter arithmetic of the
+// canonical two-call scenario: call 1 is a full decomposition (every active
+// net dirty, zero hits), then exactly one movable cell crosses a G-cell
+// boundary, and call 2 must count each of that cell's nets dirty exactly
+// once and every other active net as exactly one hit. A regression that
+// double-counts a dirty net — e.g. counting it once in the moved-hint branch
+// and again in the signature branch, or adding the counters twice per call —
+// shifts these totals and fails the pinned equalities. The scenario runs with
+// and without the moved-cells hint; both must land on identical totals.
+func TestDirtyNetCountsPinnedTwoCall(t *testing.T) {
+	for _, withHint := range []bool{false, true} {
+		name := "nohint"
+		if withHint {
+			name = "hint"
+		}
+		t.Run(name, func(t *testing.T) {
+			d := synth.MustGenerate("tiny_hot")
+			g := NewGrid(d, 32)
+			r := NewRouter(d, g)
+			r.CacheHits = &telemetry.Counter{}
+			r.DirtyNets = &telemetry.Counter{}
+
+			active := 0
+			for e := range d.Nets {
+				if d.Nets[e].Degree() >= 2 {
+					active++
+				}
+			}
+
+			// Call 1: full decomposition.
+			r.Route()
+			if got := r.DirtyNets.Value(); got != int64(active) {
+				t.Fatalf("call 1: dirty = %d, want all %d active nets", got, active)
+			}
+			if got := r.CacheHits.Value(); got != 0 {
+				t.Fatalf("call 1: hits = %d, want 0", got)
+			}
+
+			// Move exactly one movable cell a full G-cell pitch in X, so every
+			// one of its pins crosses a boundary and exactly its nets go dirty.
+			cell := -1
+			for i := range d.Cells {
+				if d.Cells[i].Movable() {
+					cell = i
+					break
+				}
+			}
+			if cell < 0 {
+				t.Fatal("design has no movable cell")
+			}
+			if d.Cells[cell].X+g.CellW < d.Die.Hi.X {
+				d.Cells[cell].X += g.CellW
+			} else {
+				d.Cells[cell].X -= g.CellW
+			}
+			wantDirty := 0
+			for e := range d.Nets {
+				net := &d.Nets[e]
+				if net.Degree() < 2 {
+					continue
+				}
+				for _, pi := range net.Pins {
+					if d.Pins[pi].Cell == cell {
+						wantDirty++
+						break
+					}
+				}
+			}
+			if wantDirty == 0 {
+				t.Fatalf("cell %d drives no active net — test is vacuous", cell)
+			}
+			if withHint {
+				moved := make([]bool, len(d.Cells))
+				moved[cell] = true
+				r.SetMovedCells(moved)
+			}
+
+			// Call 2: exactly the moved cell's nets are dirty, once each.
+			r.Route()
+			if got := r.DirtyNets.Value(); got != int64(active+wantDirty) {
+				t.Fatalf("call 2: dirty total = %d, want %d (%d from call 1 + %d nets of the moved cell, each once)",
+					got, active+wantDirty, active, wantDirty)
+			}
+			if got := r.CacheHits.Value(); got != int64(active-wantDirty) {
+				t.Fatalf("call 2: hit total = %d, want %d clean nets", got, active-wantDirty)
+			}
+
+			// Call 3, nothing moved: hits advance by the full active count and
+			// the dirty total must not move at all.
+			r.Route()
+			if got := r.DirtyNets.Value(); got != int64(active+wantDirty) {
+				t.Fatalf("call 3: dirty total moved to %d without any position change, want %d",
+					got, active+wantDirty)
+			}
+			if got := r.CacheHits.Value(); got != int64(2*active-wantDirty) {
+				t.Fatalf("call 3: hit total = %d, want %d", got, 2*active-wantDirty)
+			}
+		})
+	}
+}

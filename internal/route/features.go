@@ -1,0 +1,145 @@
+package route
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/parallel"
+)
+
+// FeatureMaps holds the per-G-cell feature planes the congestion predictor
+// (internal/predict) regresses over: a RUDY wire-demand estimate, a pin-count
+// map, 3×3 box-blurred copies of both (local neighborhood context — a hot
+// G-cell's demand spills into its neighbors when the router detours), and a
+// static capacity-ratio plane encoding macro proximity (macros eat routing
+// capacity on the layers above them, so CapRatio < 1 marks macro shadows).
+//
+// Update recomputes the position-dependent planes with the same fixed-shard
+// decomposition as the routing kernels: shard-private accumulators merged in
+// ascending shard order, so every plane is bitwise-identical for any worker
+// count. Note the parallel RUDY plane is NOT required to be bitwise-equal to
+// the serial RUDY() baseline above (the summation tree differs); it is
+// deterministic in its own right, which is what the predictor needs.
+type FeatureMaps struct {
+	NX, NY int
+
+	RUDY     []float64 // RUDY wire density, shard-merged
+	RUDYBlur []float64 // 3×3 box blur of RUDY
+	PinCount []float64 // pins per G-cell
+	PinBlur  []float64 // 3×3 box blur of PinCount
+
+	// CapRatio[i] = CapTotal(i)/max CapTotal — static macro-proximity
+	// plane, computed once at construction.
+	CapRatio []float64
+
+	rudyShards [][]float64 // shard-private RUDY accumulators
+	pinShards  [][]float64 // shard-private pin-count accumulators
+}
+
+// NewFeatureMaps allocates feature planes for grid g and precomputes the
+// static capacity-ratio plane.
+func NewFeatureMaps(g *Grid) *FeatureMaps {
+	n := g.NX * g.NY
+	f := &FeatureMaps{
+		NX:         g.NX,
+		NY:         g.NY,
+		RUDY:       make([]float64, n),
+		RUDYBlur:   make([]float64, n),
+		PinCount:   make([]float64, n),
+		PinBlur:    make([]float64, n),
+		CapRatio:   make([]float64, n),
+		rudyShards: parallel.NewShards(n),
+		pinShards:  parallel.NewShards(n),
+	}
+	maxCap := 0.0
+	for i := 0; i < n; i++ {
+		if c := g.CapTotal(i); c > maxCap {
+			maxCap = c
+		}
+	}
+	for i := 0; i < n; i++ {
+		if maxCap > 0 {
+			f.CapRatio[i] = g.CapTotal(i) / maxCap
+		}
+	}
+	return f
+}
+
+// Update recomputes the position-dependent planes (RUDY, PinCount and their
+// blurs) at the design's current positions using at most `workers` workers.
+// Results are bitwise-identical across worker counts.
+func (f *FeatureMaps) Update(d *netlist.Design, g *Grid, workers int) {
+	// RUDY: each net scatter-adds uniform demand over its bbox G-cells into
+	// a shard-private plane; shards merge in ascending order.
+	parallel.ZeroFloats(f.rudyShards)
+	parallel.For(workers, len(d.Nets), func(shard, start, end int) {
+		acc := f.rudyShards[shard]
+		for e := start; e < end; e++ {
+			if d.Nets[e].Degree() < 2 {
+				continue
+			}
+			bb := d.NetBBox(e)
+			w := maxFloat(bb.W(), g.CellW)
+			h := maxFloat(bb.H(), g.CellH)
+			demand := (bb.W() + bb.H()) / (w * h) * g.CellW * g.CellH
+			x0, y0 := g.CellAt(bb.Lo.X, bb.Lo.Y)
+			x1, y1 := g.CellAt(bb.Lo.X+w-1e-9, bb.Lo.Y+h-1e-9)
+			for cy := y0; cy <= y1; cy++ {
+				row := acc[cy*g.NX:]
+				for cx := x0; cx <= x1; cx++ {
+					row[cx] += demand
+				}
+			}
+		}
+	})
+	for i := range f.RUDY {
+		f.RUDY[i] = 0
+	}
+	parallel.MergeFloats(f.RUDY, f.rudyShards)
+
+	// Pin counts: integer-exact scatter-add, same shard pattern.
+	parallel.ZeroFloats(f.pinShards)
+	parallel.For(workers, len(d.Pins), func(shard, start, end int) {
+		acc := f.pinShards[shard]
+		for p := start; p < end; p++ {
+			pos := d.PinPos(p)
+			cx, cy := g.CellAt(pos.X, pos.Y)
+			acc[cy*g.NX+cx]++
+		}
+	})
+	for i := range f.PinCount {
+		f.PinCount[i] = 0
+	}
+	parallel.MergeFloats(f.PinCount, f.pinShards)
+
+	boxBlur3(f.RUDYBlur, f.RUDY, g.NX, g.NY, workers)
+	boxBlur3(f.PinBlur, f.PinCount, g.NX, g.NY, workers)
+}
+
+// boxBlur3 writes the 3×3 box blur of src into dst: each output cell is the
+// mean of the up-to-9 in-bounds neighbors, accumulated in fixed dy-then-dx
+// order. Writes are disjoint per output row, so the row-parallel loop is
+// bitwise-identical to serial execution by construction.
+func boxBlur3(dst, src []float64, nx, ny, workers int) {
+	parallel.For(workers, ny, func(_, start, end int) {
+		for cy := start; cy < end; cy++ {
+			for cx := 0; cx < nx; cx++ {
+				var sum float64
+				var cnt int
+				for dy := -1; dy <= 1; dy++ {
+					y := cy + dy
+					if y < 0 || y >= ny {
+						continue
+					}
+					for dx := -1; dx <= 1; dx++ {
+						x := cx + dx
+						if x < 0 || x >= nx {
+							continue
+						}
+						sum += src[y*nx+x]
+						cnt++
+					}
+				}
+				dst[cy*nx+cx] = sum / float64(cnt)
+			}
+		}
+	})
+}

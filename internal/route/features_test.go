@@ -1,0 +1,182 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// featureTestDesign builds a hand-computable design on a 4×4 grid of
+// 10×10-DBU G-cells: one 2-pin net spanning six G-cells, one near-degenerate
+// 2-pin net confined to the corner G-cell, and one single-pin net (inactive,
+// must contribute no RUDY but its pin still counts). Every pin sits on its
+// own zero-offset cell, so pin positions are the cell centers verbatim.
+func featureTestDesign() *netlist.Design {
+	pts := []geom.Point{
+		{X: 5, Y: 5},   // net 0, cell (0,0)
+		{X: 25, Y: 15}, // net 0, cell (2,1)
+		{X: 35, Y: 35}, // net 1, cell (3,3)
+		{X: 35, Y: 38}, // net 1, cell (3,3)
+		{X: 12, Y: 12}, // net 2 (degree 1), cell (1,1)
+	}
+	d := &netlist.Design{
+		Name: "feature_golden",
+		Die:  geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 40, Y: 40}},
+	}
+	for i, p := range pts {
+		d.Cells = append(d.Cells, netlist.Cell{X: p.X, Y: p.Y, W: 1, H: 1, Pins: []int{i}, NumPins: 1})
+	}
+	nets := [][]int{{0, 1}, {2, 3}, {4}}
+	for e, pins := range nets {
+		d.Nets = append(d.Nets, netlist.Net{Pins: pins})
+		for _, p := range pins {
+			for len(d.Pins) <= p {
+				d.Pins = append(d.Pins, netlist.Pin{})
+			}
+			d.Pins[p] = netlist.Pin{Cell: p, Net: e}
+		}
+	}
+	return d
+}
+
+// featureTestGrid is a literal 4×4 single-capacity grid matching the design
+// above. G-cell 5 (column 1, row 1) has reduced layer-0 capacity so CapRatio
+// is non-trivial.
+func featureTestGrid() *Grid {
+	g := &Grid{
+		NX:       4,
+		NY:       4,
+		Layers:   2,
+		CellW:    10,
+		CellH:    10,
+		Die:      geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 40, Y: 40}},
+		LayerDir: []Dir{Horizontal, Vertical},
+	}
+	g.Cap = make([][]float64, 2)
+	for l := range g.Cap {
+		g.Cap[l] = make([]float64, 16)
+		for i := range g.Cap[l] {
+			g.Cap[l][i] = 5
+		}
+	}
+	g.Cap[0][5] = 2.5 // CapTotal(5)=7.5 vs 10 elsewhere
+	return g
+}
+
+// TestRUDYGolden pins the serial RUDY estimator on the 4×4 scenario against
+// hand-computed values.
+//
+// Net 0: bbox (5,5)-(25,15), W=20 H=10 → demand (20+10)/(20·10)·(10·10)=15
+// over cells cx∈{0,1,2}, cy∈{0,1}. Net 1: bbox W=0 H=3, clamped to one
+// G-cell extent → demand (0+3)/(10·10)·(10·10)=3 on cell (3,3). Net 2 has
+// degree 1 and contributes nothing.
+func TestRUDYGolden(t *testing.T) {
+	d := featureTestDesign()
+	g := featureTestGrid()
+	got := RUDY(d, g)
+	want := make([]float64, 16)
+	for cy := 0; cy <= 1; cy++ {
+		for cx := 0; cx <= 2; cx++ {
+			want[cy*4+cx] = 15
+		}
+	}
+	want[3*4+3] = 3
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("RUDY[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFeatureMapsGolden pins every FeatureMaps plane on the same scenario.
+func TestFeatureMapsGolden(t *testing.T) {
+	d := featureTestDesign()
+	g := featureTestGrid()
+	f := NewFeatureMaps(g)
+	f.Update(d, g, 1)
+
+	// RUDY plane must match the serial estimator here: each G-cell receives
+	// demand from at most one net, so the summation trees coincide.
+	serial := RUDY(d, g)
+	for i := range serial {
+		if math.Float64bits(f.RUDY[i]) != math.Float64bits(serial[i]) {
+			t.Fatalf("FeatureMaps.RUDY[%d] = %v, want %v", i, f.RUDY[i], serial[i])
+		}
+	}
+
+	// Pin counts: (0,0)=1, (2,1)=1, (3,3)=2, (1,1)=1 — the degree-1 net's
+	// pin still lands on the map.
+	wantPins := make([]float64, 16)
+	wantPins[0*4+0] = 1
+	wantPins[1*4+2] = 1
+	wantPins[3*4+3] = 2
+	wantPins[1*4+1] = 1
+	for i := range wantPins {
+		if f.PinCount[i] != wantPins[i] {
+			t.Fatalf("PinCount[%d] = %v, want %v", i, f.PinCount[i], wantPins[i])
+		}
+	}
+
+	// CapRatio: cell 5 is 7.5/10, everything else 1.
+	for i := range f.CapRatio {
+		want := 1.0
+		if i == 5 {
+			want = 0.75
+		}
+		if f.CapRatio[i] != want {
+			t.Fatalf("CapRatio[%d] = %v, want %v", i, f.CapRatio[i], want)
+		}
+	}
+
+	// Blur spot checks, hand-computed means over in-bounds neighbors:
+	// RUDYBlur(1,1): 3×3 block rows 0–2 × cols 0–2 = six 15s and three 0s → 10.
+	// RUDYBlur(3,3): corner, cells (2,2),(3,2),(2,3),(3,3) = {0,0,0,3} → 0.75.
+	// PinBlur(0,0): corner, cells (0,0),(1,0),(0,1),(1,1) = {1,0,0,1} → 0.5.
+	if got := f.RUDYBlur[1*4+1]; got != 10 {
+		t.Fatalf("RUDYBlur(1,1) = %v, want 10", got)
+	}
+	if got := f.RUDYBlur[3*4+3]; got != 0.75 {
+		t.Fatalf("RUDYBlur(3,3) = %v, want 0.75", got)
+	}
+	if got := f.PinBlur[0*4+0]; got != 0.5 {
+		t.Fatalf("PinBlur(0,0) = %v, want 0.5", got)
+	}
+}
+
+// TestFeatureMapsWorkerIdentity demands bitwise-identical planes at every
+// worker count on a non-trivial synthetic design — the predictor's inputs
+// are part of the determinism contract.
+func TestFeatureMapsWorkerIdentity(t *testing.T) {
+	d := synth.MustGenerate("tiny_hot")
+	g := NewGrid(d, 32)
+	run := func(workers int) *FeatureMaps {
+		f := NewFeatureMaps(g)
+		f.Update(d, g, workers)
+		return f
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 7, 16, 0} {
+		got := run(w)
+		planes := []struct {
+			name     string
+			got, ref []float64
+		}{
+			{"RUDY", got.RUDY, ref.RUDY},
+			{"RUDYBlur", got.RUDYBlur, ref.RUDYBlur},
+			{"PinCount", got.PinCount, ref.PinCount},
+			{"PinBlur", got.PinBlur, ref.PinBlur},
+			{"CapRatio", got.CapRatio, ref.CapRatio},
+		}
+		for _, p := range planes {
+			for i := range p.ref {
+				if math.Float64bits(p.got[i]) != math.Float64bits(p.ref[i]) {
+					t.Fatalf("workers=%d: %s[%d] differs bitwise: %v vs %v",
+						w, p.name, i, p.got[i], p.ref[i])
+				}
+			}
+		}
+	}
+}
