@@ -7,6 +7,9 @@
 //	                          resume-smoke fallback leg)
 //	citool png-magic <file>   verify the file starts with the 8-byte PNG
 //	                          signature (dashboard-smoke heatmap check)
+//	citool kill9 <pid>        SIGKILL the process — the chaos-server smoke
+//	                          murders job workers mid-stage with it, with no
+//	                          chance for the victim to flush or clean up
 //
 // Exit codes: 0 success / check passed, 1 check failed or I/O error,
 // 2 usage error.
@@ -16,6 +19,8 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"strconv"
+	"syscall"
 )
 
 func main() {
@@ -24,11 +29,23 @@ func main() {
 
 func run(args []string) int {
 	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: citool flip-byte|png-magic <file>")
+		fmt.Fprintln(os.Stderr, "usage: citool flip-byte|png-magic <file> | kill9 <pid>")
 		return 2
 	}
 	cmd, path := args[0], args[1]
 	switch cmd {
+	case "kill9":
+		pid, err := strconv.Atoi(path)
+		if err != nil || pid <= 0 {
+			fmt.Fprintf(os.Stderr, "citool: kill9 wants a positive pid, got %q\n", path)
+			return 2
+		}
+		if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+			fmt.Fprintf(os.Stderr, "citool: kill9 %d: %v\n", pid, err)
+			return 1
+		}
+		fmt.Printf("killed pid %d\n", pid)
+		return 0
 	case "flip-byte":
 		data, err := os.ReadFile(path)
 		if err != nil {

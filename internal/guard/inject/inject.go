@@ -39,11 +39,22 @@ const (
 	// Cancel makes the pipeline act as if its context were cancelled at
 	// optimizer step k — deterministically, unlike a real timer.
 	Cancel = "cancel"
+	// WorkerCrash makes a job-server worker process exit abruptly (no
+	// flush, no cleanup — the in-process stand-in for kill -9) at the k-th
+	// stage boundary it crosses. The boundary index is global across a
+	// job's worker restarts (the supervisor passes the count of boundaries
+	// already observed), so an armed crash fires exactly once per index
+	// even though every restarted worker re-arms the same schedule.
+	WorkerCrash = "worker_crash"
+	// WorkerStall wedges a worker process at the k-th stage boundary: it
+	// stops heartbeating and blocks forever, so the supervisor's stall
+	// detector — not the exit path — must reap it.
+	WorkerStall = "worker_stall"
 )
 
 var knownPoints = map[string]bool{
 	WAGradNaN: true, PoissonBin: true, CkptCorrupt: true,
-	CkptTruncate: true, Cancel: true,
+	CkptTruncate: true, Cancel: true, WorkerCrash: true, WorkerStall: true,
 }
 
 // Registry is a seed-driven schedule of armed faults. The zero value is

@@ -59,6 +59,42 @@ func TestArmSpec(t *testing.T) {
 	}
 }
 
+func TestWorkerFaultPointsArm(t *testing.T) {
+	// The supervision fault kinds follow the same arm/fire-once contract as
+	// the pipeline kinds, including spec-string arming (the job server's
+	// Config.FaultSpecs path).
+	r := New(7)
+	if err := r.ArmSpec("worker_crash:3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ArmSpec("worker_stall:6"); err != nil {
+		t.Fatal(err)
+	}
+	var crashes, stalls []int
+	for it := 0; it < 10; it++ {
+		if r.ShouldFire(WorkerCrash, it) {
+			crashes = append(crashes, it)
+		}
+		if r.ShouldFire(WorkerStall, it) {
+			stalls = append(stalls, it)
+		}
+	}
+	if len(crashes) != 1 || crashes[0] != 3 {
+		t.Errorf("worker_crash fired at %v, want [3]", crashes)
+	}
+	if len(stalls) != 1 || stalls[0] != 6 {
+		t.Errorf("worker_stall fired at %v, want [6]", stalls)
+	}
+	// A restarted worker re-arms the same schedule but consults a global
+	// boundary index past the armed ones: nothing re-fires.
+	r2 := New(7).Arm(WorkerCrash, 3).Arm(WorkerStall, 6)
+	for it := 7; it < 15; it++ {
+		if r2.ShouldFire(WorkerCrash, it) || r2.ShouldFire(WorkerStall, it) {
+			t.Fatalf("restart with boundary base past the schedule re-fired at %d", it)
+		}
+	}
+}
+
 func TestArmUnknownPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

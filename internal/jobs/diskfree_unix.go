@@ -1,0 +1,15 @@
+//go:build linux || darwin
+
+package jobs
+
+import "syscall"
+
+// diskFree returns the bytes available to unprivileged writers on the
+// filesystem holding dir — the admission-control disk guard's input.
+func diskFree(dir string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return uint64(st.Bavail) * uint64(st.Bsize), nil //nolint:unconvert // field widths differ per platform
+}

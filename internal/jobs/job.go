@@ -20,6 +20,10 @@ import (
 // Preemption (fair share or priority) moves a running job back to queued via
 // a scheduled checkpoint; the states involved are invisible to the client —
 // only an explicit Pause parks a job in paused.
+//
+// A worker-process crash or stall also moves running back to queued (after a
+// backoff), invisibly to the client except for the restarts counter; once
+// the retry budget is exhausted the job lands in failed with Poisoned set.
 type State string
 
 const (
@@ -82,6 +86,14 @@ type JobView struct {
 	// Checkpoint is the last persisted pipeline cursor ("stage/iter/step"),
 	// empty before the first boundary.
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// Restarts counts worker-process crashes/stalls the supervisor recovered
+	// from (scheduled stops — pause, preemption, drain — do not count).
+	Restarts int `json:"restarts,omitempty"`
+	// Poisoned marks a failed job that exhausted its crash-retry budget: the
+	// job itself is the likely cause, and the supervisor quarantined it.
+	Poisoned bool `json:"poisoned,omitempty"`
+	// WorkerPID is the job's current worker process, 0 when none is running.
+	WorkerPID int `json:"worker_pid,omitempty"`
 }
 
 // jobRecord is the on-disk form (job.json) that lets a fresh process adopt
@@ -96,6 +108,13 @@ type jobRecord struct {
 	Segments int       `json:"segments"`
 	Error    string    `json:"error,omitempty"`
 	Summary  *Summary  `json:"summary,omitempty"`
+	// Restarts/Poisoned persist the supervision history so a restarted
+	// daemon neither resets a job's crash budget nor revives a quarantined
+	// job. Boundaries persists the global boundary index that keys
+	// deterministic worker faults across daemon restarts.
+	Restarts   int  `json:"restarts,omitempty"`
+	Poisoned   bool `json:"poisoned,omitempty"`
+	Boundaries int  `json:"boundaries,omitempty"`
 }
 
 // job is the manager's internal bookkeeping for one placement.
@@ -121,14 +140,38 @@ type job struct {
 	// pauseWanted distinguishes an explicit Pause (park in paused) from
 	// scheduler preemption (requeue) when a segment stops at a boundary.
 	pauseWanted bool
-	// resume selects ResumeFromFile over PlaceContext for the next segment.
+	// resume selects a checkpoint resume over a fresh start for the next
+	// segment; prepareLaunchLocked recomputes it from the on-disk state.
 	resume bool
-	// cancel aborts the currently running segment's context; nil when no
-	// segment is active.
-	cancel func()
-	// boundarySeen counts boundary-hook calls that did not stop the job,
-	// for the PersistEvery throttle.
-	boundarySeen int
 	// lastCheckpoint is the most recent persisted cursor, for JobView.
 	lastCheckpoint string
+
+	// ---- Worker-process supervision ----
+
+	// proc is the running worker process; nil when no segment is active.
+	proc *os.Process
+	pid  int
+	// stopSent dedups the checkpoint-and-stop signal to the worker.
+	stopSent bool
+	// lastHB is the time of the last heartbeat or boundary report from the
+	// worker; the stall monitor kills workers whose lastHB goes quiet.
+	lastHB time.Time
+	// stalled marks a worker the stall monitor decided to kill, so the exit
+	// is classified as a stall rather than a plain crash.
+	stalled bool
+	// restarts counts crash/stall recoveries toward the retry budget.
+	restarts int
+	// poisoned marks a quarantined job (restarts exhausted the budget).
+	poisoned bool
+	// boundaryTotal counts every boundary report ever observed for this job
+	// — monotonic across worker restarts (including re-crossed boundaries
+	// after a crash) — and feeds the worker's -boundary-base so deterministic
+	// worker faults fire once per global index.
+	boundaryTotal int
+	// backoffTimer delays the requeue after a crash; nil outside backoff.
+	backoffTimer *time.Timer
+	// endMsg/failMsg buffer the worker's final control message until its
+	// exit code arrives and the two are classified together.
+	endMsg  *Summary
+	failMsg string
 }

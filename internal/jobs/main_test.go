@@ -1,0 +1,38 @@
+package jobs
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMain doubles the test binary as the worker executable: when the
+// supervisor launches it with JOBS_WORKER_PROC=1 it runs RunWorker instead
+// of the test framework — the same self-exec trick cmd/placed plays with its
+// hidden -worker mode, so the tests exercise the real process-isolation
+// machinery (pipes, signals, exit codes) without needing a prebuilt binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("JOBS_WORKER_PROC") == "1" {
+		os.Exit(RunWorker(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
+
+// workerConfig fills cfg with the self-exec worker command and fast
+// supervision timings suitable for tests.
+func workerConfig(t *testing.T, cfg Config) Config {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locate test binary: %v", err)
+	}
+	cfg.WorkerCommand = []string{exe}
+	cfg.WorkerEnv = []string{"JOBS_WORKER_PROC=1"}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 5 * time.Millisecond
+	}
+	return cfg
+}

@@ -1,21 +1,22 @@
 package jobs
 
 import (
-	"bytes"
-	"context"
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/designio"
-	"repro/internal/netlist"
 	"repro/internal/telemetry"
 )
 
@@ -35,8 +36,43 @@ type Config struct {
 	// (default 1: persist at every boundary — the crash-migration window is
 	// then a single stage or route iteration).
 	PersistEvery int
-	// Log receives operational one-liners; nil discards them.
+	// Log receives operational one-liners and worker stderr; nil discards.
 	Log io.Writer
+
+	// WorkerCommand is the argv prefix that starts a worker process
+	// (typically the placed binary followed by "-worker"); the manager
+	// appends the per-job flags. Required.
+	WorkerCommand []string
+	// WorkerEnv is appended to the inherited environment of every worker.
+	WorkerEnv []string
+
+	// RetryBudget is how many automatic restarts a job gets after worker
+	// crashes or stalls before it is quarantined as failed(poisoned)
+	// (default 3; negative = no retries).
+	RetryBudget int
+	// BackoffBase/BackoffMax bound the exponential restart backoff
+	// (defaults 250ms and 10s): restart k waits min(Base·2^(k-1), Max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// StallTimeout kills a worker that has not heartbeated for this long
+	// (default 60s; negative disables the stall monitor). The kill feeds the
+	// same crash-resume path as a real crash.
+	StallTimeout time.Duration
+	// HeartbeatEvery is the worker heartbeat interval (default 1s).
+	HeartbeatEvery time.Duration
+
+	// MaxQueued bounds the number of jobs waiting in state queued; beyond
+	// it Submit sheds with ErrOverloaded (default 64; negative = unbounded).
+	MaxQueued int
+	// MinFreeBytes sheds submissions when the state dir's filesystem has
+	// less than this many bytes free (default 64 MiB; negative disables).
+	MinFreeBytes int64
+
+	// FaultSpecs/FaultSeed arm deterministic worker faults ("worker_crash:K",
+	// "worker_stall:K" — see internal/guard/inject) in every launched worker.
+	// Chaos tests only; empty in production.
+	FaultSpecs []string
+	FaultSeed  int64
 }
 
 func (c *Config) fill() {
@@ -49,10 +85,34 @@ func (c *Config) fill() {
 	if c.PersistEvery < 1 {
 		c.PersistEvery = 1
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 10 * time.Second
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 60 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 64
+	}
+	if c.MinFreeBytes == 0 {
+		c.MinFreeBytes = 64 << 20
+	}
 }
 
-// Manager owns the job table, the scheduler and the worker pool. All methods
-// are safe for concurrent use.
+// Manager owns the job table, the scheduler and the supervised worker
+// processes. All methods are safe for concurrent use.
 type Manager struct {
 	cfg Config
 
@@ -61,9 +121,21 @@ type Manager struct {
 	sched   *sched
 	nextSeq int
 	closed  bool
-	killed  bool
 
-	wg sync.WaitGroup // one count per in-flight placement segment
+	killed atomic.Bool // crash simulation: freeze all further state updates
+
+	monitorStop chan struct{}
+	monitorOnce sync.Once
+
+	// Supervision telemetry lives in its own registry — never a job's trace
+	// observer — so the counters cannot perturb canonical traces.
+	sreg         *telemetry.Registry
+	cRestarts    *telemetry.Counter
+	cQuarantines *telemetry.Counter
+	cStalls      *telemetry.Counter
+	cShed        *telemetry.Counter
+
+	wg sync.WaitGroup // one count per worker supervisor + the stall monitor
 }
 
 var (
@@ -74,6 +146,10 @@ var (
 	ErrBadTransition = errors.New("jobs: invalid state transition")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("jobs: manager is closed")
+	// ErrOverloaded is returned by Submit when admission control sheds the
+	// request (queue cap or disk guard); the HTTP layer maps it to 503 with
+	// a Retry-After.
+	ErrOverloaded = errors.New("jobs: overloaded")
 )
 
 // Open creates a Manager over cfg.Dir, creating the directory if needed and
@@ -91,16 +167,29 @@ func Open(cfg Config) (*Manager, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("jobs: Config.Dir is required")
 	}
+	if len(cfg.WorkerCommand) == 0 {
+		return nil, fmt.Errorf("jobs: Config.WorkerCommand is required (the placed binary plus \"-worker\")")
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:   cfg,
-		jobs:  map[string]*job{},
-		sched: newSched(cfg.Capacity, cfg.Quantum),
+		cfg:         cfg,
+		jobs:        map[string]*job{},
+		sched:       newSched(cfg.Capacity, cfg.Quantum),
+		monitorStop: make(chan struct{}),
+		sreg:        telemetry.NewRegistry(),
 	}
+	m.cRestarts = m.sreg.Counter("supervise.restarts")
+	m.cQuarantines = m.sreg.Counter("supervise.quarantines")
+	m.cStalls = m.sreg.Counter("supervise.stalls")
+	m.cShed = m.sreg.Counter("supervise.shed_requests")
 	if err := m.recover(); err != nil {
 		return nil, err
+	}
+	if cfg.StallTimeout > 0 {
+		m.wg.Add(1)
+		go m.monitor()
 	}
 	m.mu.Lock()
 	m.scheduleLocked()
@@ -116,14 +205,15 @@ func (m *Manager) logf(format string, args ...any) {
 
 // ---- Submission and control ----
 
-// Submit validates spec, registers the job and schedules it. It returns the
-// job ID immediately; the placement runs asynchronously.
+// Submit validates spec, applies admission control, registers the job and
+// schedules it. It returns the job ID immediately; the placement runs
+// asynchronously in a supervised worker process.
 func (m *Manager) Submit(spec Spec) (string, error) {
 	if err := spec.Validate(); err != nil {
 		return "", err
 	}
 	// Building the design up front rejects a broken inline payload at
-	// submission instead of failing the job later; segments rebuild it
+	// submission instead of failing the job later; workers rebuild it
 	// (deterministically) when they run.
 	if _, err := spec.BuildDesign(); err != nil {
 		return "", err
@@ -133,6 +223,18 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	defer m.mu.Unlock()
 	if m.closed {
 		return "", ErrClosed
+	}
+	if m.cfg.MaxQueued > 0 {
+		if q := m.queuedLocked(); q >= m.cfg.MaxQueued {
+			m.cShed.Inc()
+			return "", fmt.Errorf("%w: %d jobs queued (cap %d)", ErrOverloaded, q, m.cfg.MaxQueued)
+		}
+	}
+	if m.cfg.MinFreeBytes > 0 {
+		if free, err := diskFree(m.cfg.Dir); err == nil && free < uint64(m.cfg.MinFreeBytes) {
+			m.cShed.Inc()
+			return "", fmt.Errorf("%w: %d bytes free on state dir (min %d)", ErrOverloaded, free, m.cfg.MinFreeBytes)
+		}
 	}
 	m.nextSeq++
 	j := &job{
@@ -163,9 +265,20 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	return j.id, nil
 }
 
-// Pause asks a job to park: a running job checkpoints and stops at its next
-// stage boundary, a queued job leaves the scheduler immediately. Pausing a
-// paused or pausing job is a no-op.
+// queuedLocked counts jobs waiting in state queued (including crash backoff).
+func (m *Manager) queuedLocked() int {
+	n := 0
+	for _, j := range m.jobs {
+		if j.state == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// Pause asks a job to park: a running job's worker checkpoints and stops at
+// its next stage boundary, a queued job leaves the scheduler immediately.
+// Pausing a paused or pausing job is a no-op.
 func (m *Manager) Pause(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -177,6 +290,7 @@ func (m *Manager) Pause(id string) error {
 	case StatePaused, StatePausing:
 		return nil
 	case StateQueued:
+		m.stopBackoffLocked(j)
 		m.sched.remove(id)
 		j.state = StatePaused
 		return m.persistLocked(j)
@@ -184,6 +298,7 @@ func (m *Manager) Pause(id string) error {
 		j.pauseWanted = true
 		j.state = StatePausing
 		m.sched.stop(id)
+		m.stopWorkerLocked(j)
 		m.scheduleLocked() // a waiter may be admissible once the slots free
 		return m.persistLocked(j)
 	default:
@@ -211,10 +326,10 @@ func (m *Manager) Resume(id string) error {
 	return nil
 }
 
-// Cancel aborts a job. A running segment is cancelled via its context (the
-// core's cancellation checkpoint is disabled, so the abort cannot disturb
-// the job's last migration point); a queued or paused job goes terminal
-// immediately. Cancelling an already-cancelled job is a no-op.
+// Cancel aborts a job. A running worker is interrupted (its cancellation
+// checkpoint is disabled, so the abort cannot disturb the job's last
+// migration point); a queued or paused job goes terminal immediately.
+// Cancelling an already-cancelled job is a no-op.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -226,6 +341,7 @@ func (m *Manager) Cancel(id string) error {
 	case StateCancelled, StateCancelling:
 		return nil
 	case StateQueued, StatePaused:
+		m.stopBackoffLocked(j)
 		m.sched.remove(id)
 		j.state = StateCancelled
 		m.finishLocked(j)
@@ -233,9 +349,7 @@ func (m *Manager) Cancel(id string) error {
 		return m.persistLocked(j)
 	case StateRunning, StatePausing:
 		j.state = StateCancelling
-		if j.cancel != nil {
-			j.cancel()
-		}
+		m.cancelWorkerLocked(j)
 		return m.persistLocked(j)
 	default:
 		return fmt.Errorf("%w: cannot cancel a %s job", ErrBadTransition, j.state)
@@ -303,7 +417,59 @@ func (m *Manager) PlacementPath(id string) (string, error) {
 	return filepath.Join(j.dir, "out.place"), nil
 }
 
-// ---- Scheduling and segments ----
+// Ready reports whether the server should accept new submissions, with a
+// reason when it should not — the /readyz probe. Distinct from liveness: a
+// draining or overloaded daemon is alive but not ready.
+func (m *Manager) Ready() (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, "draining"
+	}
+	if m.cfg.MaxQueued > 0 {
+		if q := m.queuedLocked(); q >= m.cfg.MaxQueued {
+			return false, fmt.Sprintf("overloaded: %d jobs queued (cap %d)", q, m.cfg.MaxQueued)
+		}
+	}
+	if m.cfg.MinFreeBytes > 0 {
+		if free, err := diskFree(m.cfg.Dir); err == nil && free < uint64(m.cfg.MinFreeBytes) {
+			return false, fmt.Sprintf("low disk: %d bytes free on state dir", free)
+		}
+	}
+	return true, ""
+}
+
+// Stats snapshots the supervision metrics (restarts, quarantines, stalls,
+// shed requests, live worker/queue gauges). The registry is separate from
+// every job's trace observer, so reading it never perturbs canonical traces.
+func (m *Manager) Stats() []telemetry.Metric {
+	m.mu.Lock()
+	var maxAge time.Duration
+	active, queued := 0, 0
+	now := time.Now()
+	for _, j := range m.jobs {
+		if j.proc != nil {
+			active++
+			if age := now.Sub(j.lastHB); age > maxAge {
+				maxAge = age
+			}
+		}
+		if j.state == StateQueued {
+			queued++
+		}
+	}
+	m.sreg.VolatileGauge("supervise.active_workers").Set(float64(active))
+	m.sreg.VolatileGauge("supervise.queued_jobs").Set(float64(queued))
+	m.sreg.VolatileGauge("supervise.heartbeat_age_ms").Set(float64(maxAge.Milliseconds()))
+	m.mu.Unlock()
+	return m.sreg.Snapshot()
+}
+
+// NoteShed records a shed request decided outside the manager (the HTTP
+// layer's per-submitter rate limiter).
+func (m *Manager) NoteShed() { m.cShed.Inc() }
+
+// ---- Scheduling and worker supervision ----
 
 // budget is the job's effective worker-slot budget.
 func (m *Manager) budget(s *Spec) int {
@@ -317,91 +483,286 @@ func (m *Manager) budget(s *Spec) int {
 	return w
 }
 
-// scheduleLocked starts segments for every job the scheduler admits.
-// Callers hold m.mu.
+// scheduleLocked launches workers for every job the scheduler admits and
+// signals preemption victims. Callers hold m.mu.
 func (m *Manager) scheduleLocked() {
-	if m.closed || m.killed {
+	if m.closed || m.killed.Load() {
 		return
 	}
 	for _, id := range m.sched.decide() {
 		j := m.jobs[id]
-		j.state = StateRunning
-		j.segments++
-		ctx, cancel := context.WithCancel(context.Background())
-		j.cancel = cancel
-		resume := j.resume
-		if err := m.persistLocked(j); err != nil {
-			m.logf("%s: persist: %v", j.id, err)
+		if err := m.launchWorkerLocked(j); err != nil {
+			// A failed launch takes the same path as a crash: backoff,
+			// retry, and quarantine if it keeps failing.
+			m.noteCrashLocked(j, fmt.Sprintf("worker launch: %v", err))
+			if perr := m.persistLocked(j); perr != nil {
+				m.logf("%s: persist: %v", j.id, perr)
+			}
 		}
-		m.logf("%s: starting segment %d (resume=%v)", j.id, j.segments, resume)
-		m.wg.Add(1)
-		go m.runSegment(ctx, j, resume)
+	}
+	// decide may have marked running jobs as preemption victims; tell their
+	// workers to checkpoint-and-stop at the next boundary.
+	for _, id := range m.sched.stopping() {
+		if j := m.jobs[id]; j != nil {
+			m.stopWorkerLocked(j)
+		}
 	}
 }
 
-// boundary is the job's core.Options.BoundaryHook: it consults the
-// scheduler (preemption, pause, fair-share yield) and otherwise persists a
-// durability checkpoint every PersistEvery boundaries.
-func (m *Manager) boundary(j *job, point string) core.BoundaryAction {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.killed {
-		// Crash simulation: freeze the on-disk state exactly as a dead
-		// process would have left it.
-		return core.BoundaryContinue
+// prepareLaunchLocked fixes up the job's on-disk state before a worker
+// starts: it picks the latest valid checkpoint (promoting .prev over a
+// corrupt primary), truncates the trace to exactly the events that preceded
+// it, and rebuilds the hub when the truncation changed the stream (live
+// subscribers get an eof and reconnect to the consistent backlog). With no
+// usable checkpoint the job restarts from scratch. Idempotent: a clean
+// boundary stop passes through without touching the stream.
+func (m *Manager) prepareLaunchLocked(j *job) error {
+	trace := m.tracePath(j)
+	ckpt := filepath.Join(j.dir, "run.ckpt")
+	info, ierr := core.InspectCheckpoint(ckpt)
+	if ierr != nil && errors.Is(ierr, core.ErrCheckpointCorrupt) {
+		prev := ckpt + ".prev"
+		if pinfo, perr := core.InspectCheckpoint(prev); perr == nil {
+			if rerr := os.Rename(prev, ckpt); rerr != nil {
+				return rerr
+			}
+			info, ierr = pinfo, nil
+			m.logf("%s: primary checkpoint corrupt; promoted .prev", j.id)
+		}
 	}
-	if m.sched.onBoundary(j.id) {
-		j.lastCheckpoint = point
-		return core.BoundaryStop
+	fresh := ierr != nil
+	var lines [][]byte
+	changed := false
+	if !fresh {
+		var terr error
+		lines, changed, terr = truncateTrace(trace, info.TraceSeq)
+		if terr != nil {
+			if !errors.Is(terr, errTraceShort) {
+				return terr
+			}
+			// Checkpoint claims events the trace never got: the pair is
+			// inconsistent, so a byte-exact migration is impossible. Restart
+			// from scratch rather than serve a wrong trace.
+			m.logf("%s: %v; restarting from scratch", j.id, terr)
+			fresh = true
+		}
 	}
-	j.boundarySeen++
-	if j.boundarySeen%m.cfg.PersistEvery == 0 {
-		j.lastCheckpoint = point
-		return core.BoundaryCheckpoint
+	if fresh {
+		os.Remove(ckpt)
+		os.Remove(ckpt + ".prev")
+		j.resume = false
+		if j.segments == 0 {
+			return nil // first launch: the trace is already empty
+		}
+		if err := os.WriteFile(trace, nil, 0o644); err != nil {
+			return err
+		}
+		return m.rebuildStreamLocked(j, nil)
 	}
-	return core.BoundaryContinue
+	j.resume = true
+	j.lastCheckpoint = fmt.Sprintf("%s iter=%d", info.Stage, info.Iter)
+	if changed {
+		return m.rebuildStreamLocked(j, lines)
+	}
+	return nil
 }
 
-// runSegment executes one placement segment: a fresh run or a resume from
-// the job's checkpoint, with a fresh Observer writing through the job's hub
-// so every segment's events concatenate into one canonical trace.
-func (m *Manager) runSegment(ctx context.Context, j *job, resume bool) {
-	defer m.wg.Done()
-	d, err := j.spec.BuildDesign()
+// rebuildStreamLocked replaces the job's hub and trace file handle after the
+// trace was rewritten on disk. The old hub closes, so live subscribers see
+// an end-of-stream and reconnect.
+func (m *Manager) rebuildStreamLocked(j *job, lines [][]byte) error {
+	if j.hub != nil {
+		j.hub.Close()
+	}
+	if j.traceFile != nil {
+		j.traceFile.Close()
+		j.traceFile = nil
+	}
+	f, err := os.OpenFile(m.tracePath(j), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		m.onSegmentEnd(j, nil, nil, nil, err)
+		return err
+	}
+	j.traceFile = f
+	j.hub = telemetry.NewHub(f)
+	j.hub.Seed(lines)
+	return nil
+}
+
+// launchWorkerLocked starts one worker process for the job and a supervisor
+// goroutine that consumes its stdout protocol until exit.
+func (m *Manager) launchWorkerLocked(j *job) error {
+	if err := m.prepareLaunchLocked(j); err != nil {
+		return err
+	}
+	argv := append([]string{}, m.cfg.WorkerCommand...)
+	argv = append(argv,
+		"-dir", j.dir,
+		"-budget", strconv.Itoa(m.budget(&j.spec)),
+		"-persist-every", strconv.Itoa(m.cfg.PersistEvery),
+		"-heartbeat-ms", strconv.Itoa(int(m.cfg.HeartbeatEvery/time.Millisecond)),
+		"-boundary-base", strconv.Itoa(j.boundaryTotal),
+	)
+	if j.resume {
+		argv = append(argv, "-resume")
+	}
+	for _, spec := range m.cfg.FaultSpecs {
+		argv = append(argv, "-inject", spec)
+	}
+	if len(m.cfg.FaultSpecs) > 0 {
+		argv = append(argv, "-inject-seed", strconv.FormatInt(m.cfg.FaultSeed, 10))
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), m.cfg.WorkerEnv...)
+	if m.cfg.Log != nil {
+		cmd.Stderr = m.cfg.Log
+	}
+	setPdeathsig(cmd)
+	// The worker holds our write end of its stdin open for its lifetime;
+	// closing it (or daemon death closing it) tells the worker it is
+	// orphaned.
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		return err
+	}
+	j.state = StateRunning
+	j.segments++
+	j.stopSent = false
+	j.stalled = false
+	j.endMsg = nil
+	j.failMsg = ""
+	j.proc = cmd.Process
+	j.pid = cmd.Process.Pid
+	j.lastHB = time.Now()
+	if err := m.persistLocked(j); err != nil {
+		m.logf("%s: persist: %v", j.id, err)
+	}
+	m.logf("%s: starting segment %d pid=%d (resume=%v)", j.id, j.segments, j.pid, j.resume)
+	hub := j.hub
+	m.wg.Add(1)
+	go m.superviseWorker(j, cmd, hub, stdin, stdout)
+	return nil
+}
+
+// superviseWorker consumes one worker's stdout until it exits: raw trace
+// lines flow into the job's hub (and so the canonical trace file), control
+// lines update supervision state. It then classifies the exit.
+func (m *Manager) superviseWorker(j *job, cmd *exec.Cmd, hub *telemetry.Hub, stdin io.WriteCloser, stdout io.Reader) {
+	defer m.wg.Done()
+	br := bufio.NewReaderSize(stdout, 64<<10)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			// A torn final line (no newline) from a dying worker is dropped:
+			// the trace file must stay valid JSONL.
+			if line[0] == ctlPrefix {
+				m.handleControl(j, line[1:])
+			} else if !m.killed.Load() {
+				hub.Write(line)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	werr := cmd.Wait()
+	stdin.Close()
+	code := -1
+	if cmd.ProcessState != nil {
+		code = cmd.ProcessState.ExitCode()
+	}
+	desc := fmt.Sprintf("exit code %d", code)
+	if werr != nil {
+		desc = werr.Error() // "signal: killed" and friends
+	}
+	m.onWorkerExit(j, code, desc)
+}
+
+// handleControl applies one worker control message.
+func (m *Manager) handleControl(j *job, payload []byte) {
+	var msg ctlMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		m.logf("%s: bad control line: %v", j.id, err)
 		return
 	}
-	opt := j.spec.coreOptions()
-	opt.Workers = m.budget(&j.spec)
-	opt.Observer = telemetry.NewObserver(j.hub)
-	opt.CheckpointPath = filepath.Join(j.dir, "run.ckpt")
-	opt.DisableCancelCheckpoint = true
-	opt.BoundaryHook = func(point string) core.BoundaryAction { return m.boundary(j, point) }
-
-	var res *core.Result
-	if resume {
-		res, err = core.ResumeFromFile(ctx, d, opt.CheckpointPath, opt)
-	} else {
-		res, err = core.PlaceContext(ctx, d, opt)
-	}
-	m.onSegmentEnd(j, d, opt.Observer, res, err)
-}
-
-// onSegmentEnd is the job state machine: it classifies how the segment
-// ended, persists the transition and lets the scheduler fill the freed
-// slots.
-func (m *Manager) onSegmentEnd(j *job, d *netlist.Design, obs *telemetry.Observer, res *core.Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.killed {
-		return // crash simulation: the dead process updates nothing
+	if m.killed.Load() {
+		return
 	}
-	j.cancel = nil
+	j.lastHB = time.Now()
+	switch msg.Type {
+	case "hb":
+	case "boundary":
+		j.boundaryTotal++
+		if msg.Ckpt {
+			j.lastCheckpoint = msg.Point
+		}
+		// The scheduler decides pause/preemption/fair-share at boundaries,
+		// exactly as it did in-process; a stop decision becomes a signal and
+		// the worker checkpoints at its next boundary.
+		if m.sched.onBoundary(j.id) {
+			m.stopWorkerLocked(j)
+		}
+	case "end":
+		j.endMsg = msg.Summary
+	case "fail":
+		j.failMsg = msg.Error
+	}
+}
+
+// stopWorkerLocked asks the worker to checkpoint-and-stop at its next stage
+// boundary (SIGTERM; exit 7). Deduplicated per launch.
+func (m *Manager) stopWorkerLocked(j *job) {
+	if j.proc == nil || j.stopSent {
+		return
+	}
+	j.stopSent = true
+	if err := j.proc.Signal(syscall.SIGTERM); err != nil {
+		m.logf("%s: stop signal: %v", j.id, err)
+	}
+}
+
+// cancelWorkerLocked interrupts the worker's run (SIGINT; exit 3).
+func (m *Manager) cancelWorkerLocked(j *job) {
+	if j.proc == nil {
+		return
+	}
+	if err := j.proc.Signal(os.Interrupt); err != nil {
+		m.logf("%s: cancel signal: %v", j.id, err)
+	}
+}
+
+// onWorkerExit is the supervisor's state machine: it classifies the worker's
+// exit code against the contract (see worker.go), persists the transition
+// and lets the scheduler fill the freed slots.
+func (m *Manager) onWorkerExit(j *job, code int, desc string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.proc = nil
+	j.pid = 0
+	if m.killed.Load() {
+		return // crash simulation: the dead daemon updates nothing
+	}
 	switch {
-	case errors.Is(err, core.ErrCheckpointed):
+	case j.state == StateCancelling:
+		// Whatever the exit code — a clean exit 3, or a crash racing the
+		// cancel — the user asked for the job to end.
+		j.state = StateCancelled
+		m.sched.remove(j.id)
+		m.finishLocked(j)
+		m.logf("%s: cancelled", j.id)
+	case code == workerExitStopped:
 		// Scheduled stop at a boundary: pause parks the job, preemption and
-		// graceful shutdown requeue it. Either way the next segment resumes
+		// graceful shutdown requeue it. Either way the next worker resumes
 		// from the checkpoint and the trace continues byte-exactly.
 		j.resume = true
 		if j.pauseWanted {
@@ -414,36 +775,33 @@ func (m *Manager) onSegmentEnd(j *job, d *netlist.Design, obs *telemetry.Observe
 			m.sched.requeue(j.id)
 			m.logf("%s: preempted at %s", j.id, j.lastCheckpoint)
 		}
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		j.state = StateCancelled
+	case code == workerExitOK && j.endMsg != nil:
+		j.summary = j.endMsg
+		j.endMsg = nil
+		j.state = StateDone
 		m.sched.remove(j.id)
 		m.finishLocked(j)
-		m.logf("%s: cancelled", j.id)
-	case err != nil:
+		m.logf("%s: done HPWL=%.0f DRVs=%d", j.id, j.summary.HPWLFinal, j.summary.DRVs)
+	case code == workerExitUsage, code == workerExitDegenerate, code == workerExitGuard:
+		// Deterministic failures: retrying cannot help, fail immediately.
 		j.state = StateFailed
-		j.errMsg = err.Error()
+		if j.errMsg = j.failMsg; j.errMsg == "" {
+			j.errMsg = fmt.Sprintf("worker: %s", desc)
+		}
 		m.sched.remove(j.id)
 		m.finishLocked(j)
-		m.logf("%s: failed: %v", j.id, err)
+		m.logf("%s: failed: %s", j.id, j.errMsg)
 	default:
-		// Mirror the CLI's end-of-run telemetry exactly: the volatile
-		// dropped-events gauge, then the metrics flush. Volatile metrics
-		// sort after deterministic ones and are stripped from canonical
-		// traces, so the server's extra subscribers never shift the trace.
-		obs.VolatileGauge("telemetry.dropped_events").Set(float64(j.hub.Dropped()))
-		if ferr := obs.Flush(); ferr != nil {
-			m.logf("%s: trace flush: %v", j.id, ferr)
+		// Crashes, kills, stalls (the monitor's kill lands here), corrupt
+		// checkpoints (a retry heals them via the .prev promotion), injected
+		// crashes, exit 0 without an end message: the crash-resume path.
+		reason := desc
+		if j.stalled {
+			reason = "stalled (heartbeat timeout); killed"
+		} else if j.failMsg != "" {
+			reason = j.failMsg
 		}
-		if werr := m.writePlacementLocked(j, d); werr != nil {
-			j.state = StateFailed
-			j.errMsg = werr.Error()
-		} else {
-			j.summary = summarize(res)
-			j.state = StateDone
-			m.logf("%s: done HPWL=%.0f DRVs=%d", j.id, res.HPWLFinal, res.Metrics.DRVs)
-		}
-		m.sched.remove(j.id)
-		m.finishLocked(j)
+		m.noteCrashLocked(j, reason)
 	}
 	if perr := m.persistLocked(j); perr != nil {
 		m.logf("%s: persist: %v", j.id, perr)
@@ -451,12 +809,122 @@ func (m *Manager) onSegmentEnd(j *job, d *netlist.Design, obs *telemetry.Observe
 	m.scheduleLocked()
 }
 
-func (m *Manager) writePlacementLocked(j *job, d *netlist.Design) error {
-	var buf bytes.Buffer
-	if err := designio.Write(&buf, d); err != nil {
-		return err
+// noteCrashLocked handles an unclassified worker death: requeue with bounded
+// exponential backoff while the retry budget lasts, quarantine as
+// failed(poisoned) after.
+func (m *Manager) noteCrashLocked(j *job, reason string) {
+	if j.pauseWanted {
+		// The pause asked for a stop; the crash delivered one. Park the job
+		// — Resume will relaunch from the last checkpoint.
+		j.pauseWanted = false
+		j.state = StatePaused
+		m.sched.remove(j.id)
+		m.logf("%s: worker died during pause (%s); parked paused", j.id, reason)
+		return
 	}
-	return writeFileAtomic(filepath.Join(j.dir, "out.place"), buf.Bytes())
+	j.restarts++
+	m.cRestarts.Inc()
+	if j.restarts > m.cfg.RetryBudget {
+		j.poisoned = true
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("poisoned: retry budget (%d) exhausted; last worker death: %s",
+			m.cfg.RetryBudget, reason)
+		m.cQuarantines.Inc()
+		m.sched.remove(j.id)
+		m.finishLocked(j)
+		m.logf("%s: quarantined as failed(poisoned): %s", j.id, reason)
+		return
+	}
+	backoff := m.backoffFor(j.restarts)
+	j.state = StateQueued
+	m.sched.remove(j.id) // out of the scheduler until the backoff elapses
+	m.logf("%s: worker died (%s); restart %d/%d in %v",
+		j.id, reason, j.restarts, m.cfg.RetryBudget, backoff)
+	if m.closed {
+		return // persisted as queued; the next Open requeues it
+	}
+	id := j.id
+	j.backoffTimer = time.AfterFunc(backoff, func() { m.endBackoff(id) })
+}
+
+// backoffFor returns min(BackoffBase·2^(restarts-1), BackoffMax).
+func (m *Manager) backoffFor(restarts int) time.Duration {
+	d := m.cfg.BackoffBase
+	for i := 1; i < restarts; i++ {
+		d *= 2
+		if d >= m.cfg.BackoffMax {
+			return m.cfg.BackoffMax
+		}
+	}
+	if d > m.cfg.BackoffMax {
+		d = m.cfg.BackoffMax
+	}
+	return d
+}
+
+// endBackoff re-enters a crashed job into the scheduler once its backoff
+// elapses. The state checks make a timer that raced a pause/cancel/close a
+// no-op.
+func (m *Manager) endBackoff(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.killed.Load() {
+		return
+	}
+	j := m.jobs[id]
+	if j == nil || j.backoffTimer == nil || j.state != StateQueued {
+		return
+	}
+	j.backoffTimer = nil
+	m.sched.add(j.id, j.seq, j.spec.Priority, m.budget(&j.spec))
+	m.scheduleLocked()
+}
+
+// stopBackoffLocked cancels a pending crash-restart timer.
+func (m *Manager) stopBackoffLocked(j *job) {
+	if j.backoffTimer != nil {
+		j.backoffTimer.Stop()
+		j.backoffTimer = nil
+	}
+}
+
+// monitor is the stall detector: a worker that has neither heartbeated nor
+// reported a boundary for StallTimeout is killed, which routes it into the
+// crash-resume path.
+func (m *Manager) monitor() {
+	defer m.wg.Done()
+	tick := m.cfg.StallTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.monitorStop:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			now := time.Now()
+			for _, j := range m.jobs {
+				if j.proc != nil && !j.stalled && now.Sub(j.lastHB) > m.cfg.StallTimeout {
+					j.stalled = true
+					m.cStalls.Inc()
+					m.logf("%s: worker pid %d stalled (silent for %v); killing",
+						j.id, j.pid, now.Sub(j.lastHB).Round(time.Millisecond))
+					j.proc.Kill()
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+func (m *Manager) stopMonitor() {
+	m.monitorOnce.Do(func() { close(m.monitorStop) })
 }
 
 // finishLocked closes the job's live stream and trace file. Idempotent.
@@ -480,14 +948,17 @@ func (m *Manager) tracePath(j *job) string {
 
 func (m *Manager) persistLocked(j *job) error {
 	rec := jobRecord{
-		ID:       j.id,
-		Seq:      j.seq,
-		Spec:     j.spec,
-		State:    j.state,
-		Created:  j.created,
-		Segments: j.segments,
-		Error:    j.errMsg,
-		Summary:  j.summary,
+		ID:         j.id,
+		Seq:        j.seq,
+		Spec:       j.spec,
+		State:      j.state,
+		Created:    j.created,
+		Segments:   j.segments,
+		Error:      j.errMsg,
+		Summary:    j.summary,
+		Restarts:   j.restarts,
+		Poisoned:   j.poisoned,
+		Boundaries: j.boundaryTotal,
 	}
 	data, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
@@ -513,6 +984,9 @@ func (m *Manager) viewLocked(j *job) JobView {
 		Error:      j.errMsg,
 		Summary:    j.summary,
 		Checkpoint: j.lastCheckpoint,
+		Restarts:   j.restarts,
+		Poisoned:   j.poisoned,
+		WorkerPID:  j.pid,
 	}
 }
 
@@ -540,15 +1014,18 @@ func (m *Manager) recover() error {
 			continue
 		}
 		j := &job{
-			id:       rec.ID,
-			seq:      rec.Seq,
-			spec:     rec.Spec,
-			dir:      dir,
-			created:  rec.Created,
-			state:    rec.State,
-			errMsg:   rec.Error,
-			summary:  rec.Summary,
-			segments: rec.Segments,
+			id:            rec.ID,
+			seq:           rec.Seq,
+			spec:          rec.Spec,
+			dir:           dir,
+			created:       rec.Created,
+			state:         rec.State,
+			errMsg:        rec.Error,
+			summary:       rec.Summary,
+			segments:      rec.Segments,
+			restarts:      rec.Restarts,
+			poisoned:      rec.Poisoned,
+			boundaryTotal: rec.Boundaries,
 		}
 		if err := m.recoverJob(j); err != nil {
 			return fmt.Errorf("recover %s: %w", j.id, err)
@@ -613,7 +1090,7 @@ func (m *Manager) recoverJob(j *job) error {
 	fresh := ierr != nil
 	var seedLines [][]byte
 	if !fresh {
-		lines, terr := truncateTrace(trace, info.TraceSeq)
+		lines, _, terr := truncateTrace(trace, info.TraceSeq)
 		if terr != nil {
 			if !errors.Is(terr, errTraceShort) {
 				return terr
@@ -662,10 +1139,10 @@ func (m *Manager) recoverJob(j *job) error {
 
 // ---- Shutdown ----
 
-// Close shuts the manager down gracefully: running jobs checkpoint and stop
-// at their next stage boundary and are persisted as queued, so a Manager
-// reopened over the same directory resumes them byte-exactly. Blocks until
-// all segments have stopped.
+// Close shuts the manager down gracefully: running workers checkpoint and
+// stop at their next stage boundary and their jobs persist as queued, so a
+// Manager reopened over the same directory resumes them byte-exactly.
+// Blocks until all workers have exited.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -675,11 +1152,14 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	for id, j := range m.jobs {
-		if j.state == StateRunning {
+		m.stopBackoffLocked(j)
+		if j.state == StateRunning || j.state == StatePausing {
 			m.sched.stop(id)
+			m.stopWorkerLocked(j)
 		}
 	}
 	m.mu.Unlock()
+	m.stopMonitor()
 	m.wg.Wait()
 	m.mu.Lock()
 	for _, j := range m.jobs {
@@ -688,23 +1168,21 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 }
 
-// Kill simulates a process crash for tests: it abandons all segments
-// without persisting any further state, leaving the directory exactly as a
-// SIGKILLed worker would — the last boundary checkpoint on disk and a trace
-// file that may run past it. Blocks until the segments have exited (so no
-// file write races the Manager that adopts the directory next).
+// Kill simulates a daemon crash for tests: every worker process is killed
+// and no further state is persisted, leaving the directory exactly as a
+// SIGKILLed daemon would — the last boundary checkpoint on disk and a trace
+// file that may run past it. Blocks until the supervisors have exited (so
+// no file write races the Manager that adopts the directory next).
 func (m *Manager) Kill() {
+	m.killed.Store(true)
 	m.mu.Lock()
-	m.killed = true
-	var cancels []func()
 	for _, j := range m.jobs {
-		if j.cancel != nil {
-			cancels = append(cancels, j.cancel)
+		m.stopBackoffLocked(j)
+		if j.proc != nil {
+			j.proc.Kill()
 		}
 	}
 	m.mu.Unlock()
-	for _, c := range cancels {
-		c()
-	}
+	m.stopMonitor()
 	m.wg.Wait()
 }

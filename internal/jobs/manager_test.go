@@ -133,7 +133,7 @@ func assertJobMatchesReference(t *testing.T, m *Manager, id string) {
 // traces must equal the plain uninterrupted run's bytes.
 func TestPreemptionAndPauseAreByteExact(t *testing.T) {
 	base := testutil.GoroutineBaseline()
-	m, err := Open(Config{Dir: t.TempDir(), Capacity: 1, Quantum: 1})
+	m, err := Open(workerConfig(t, Config{Dir: t.TempDir(), Capacity: 1, Quantum: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestPreemptionAndPauseAreByteExact(t *testing.T) {
 // events the dead process emitted past its last checkpoint.
 func TestCrashMigrationIsByteExact(t *testing.T) {
 	dir := t.TempDir()
-	m1, err := Open(Config{Dir: dir, Capacity: 1})
+	m1, err := Open(workerConfig(t, Config{Dir: dir, Capacity: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestCrashMigrationIsByteExact(t *testing.T) {
 	}
 	m1.Kill()
 
-	m2, err := Open(Config{Dir: dir, Capacity: 1})
+	m2, err := Open(workerConfig(t, Config{Dir: dir, Capacity: 1}))
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -223,7 +223,7 @@ func TestCrashMigrationIsByteExact(t *testing.T) {
 // still match the plain run.
 func TestRecoveryAdoptsTerminalAndPausedJobs(t *testing.T) {
 	dir := t.TempDir()
-	m1, err := Open(Config{Dir: dir, Capacity: 1, Quantum: 1})
+	m1, err := Open(workerConfig(t, Config{Dir: dir, Capacity: 1, Quantum: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestRecoveryAdoptsTerminalAndPausedJobs(t *testing.T) {
 	waitState(t, m1, id2, StateDone)
 	m1.Close()
 
-	m2, err := Open(Config{Dir: dir, Capacity: 1})
+	m2, err := Open(workerConfig(t, Config{Dir: dir, Capacity: 1}))
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -275,7 +275,7 @@ func TestRecoveryAdoptsTerminalAndPausedJobs(t *testing.T) {
 // goroutines outlive the manager.
 func TestCancelReleasesWorkers(t *testing.T) {
 	base := testutil.GoroutineBaseline()
-	m, err := Open(Config{Dir: t.TempDir(), Capacity: 1, Quantum: 1000})
+	m, err := Open(workerConfig(t, Config{Dir: t.TempDir(), Capacity: 1, Quantum: 1000}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +308,7 @@ func TestCancelReleasesWorkers(t *testing.T) {
 
 // TestSubmitValidation exercises the rejection paths.
 func TestSubmitValidation(t *testing.T) {
-	m, err := Open(Config{Dir: t.TempDir()})
+	m, err := Open(workerConfig(t, Config{Dir: t.TempDir()}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,9 +338,12 @@ func TestTruncateTrace(t *testing.T) {
 	if err := os.WriteFile(path, content, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	lines, err := truncateTrace(path, 2)
+	lines, changed, err := truncateTrace(path, 2)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("a real truncation must report changed")
 	}
 	if len(lines) != 2 || string(lines[1]) != "{\"seq\":1}\n" {
 		t.Fatalf("kept lines = %q", lines)
@@ -349,15 +352,20 @@ func TestTruncateTrace(t *testing.T) {
 	if string(got) != "{\"seq\":0}\n{\"seq\":1}\n" {
 		t.Fatalf("file after truncation = %q", got)
 	}
+	// Re-truncating to the same length is a no-op — the supervisor keeps
+	// the live hub (and its SSE subscribers) in that case.
+	if _, changed, err = truncateTrace(path, 2); err != nil || changed {
+		t.Fatalf("no-op truncation: changed=%v err=%v", changed, err)
+	}
 	// Asking for more lines than exist is the inconsistent-state signal.
-	if _, err := truncateTrace(path, 5); err == nil {
+	if _, _, err := truncateTrace(path, 5); err == nil {
 		t.Fatal("truncateTrace accepted a short trace")
 	}
 	// n equal to the complete-line count with a torn tail still truncates.
 	if err := os.WriteFile(path, content, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := truncateTrace(path, 3); err != nil {
+	if _, _, err := truncateTrace(path, 3); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = os.ReadFile(path)

@@ -1,0 +1,15 @@
+//go:build linux
+
+package jobs
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig makes the kernel SIGKILL a worker whose parent thread dies —
+// a second line of defense behind the worker's stdin-EOF orphan watch, so a
+// SIGKILLed daemon cannot leave placements running unsupervised.
+func setPdeathsig(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

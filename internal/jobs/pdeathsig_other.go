@@ -1,0 +1,9 @@
+//go:build !linux
+
+package jobs
+
+import "os/exec"
+
+// setPdeathsig is a no-op off Linux; the worker's stdin-EOF orphan watch
+// still reaps workers whose daemon died.
+func setPdeathsig(cmd *exec.Cmd) {}

@@ -1,0 +1,64 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-key token bucket (key = submitter identity, in
+// practice the client IP). Buckets refill continuously at rate tokens/sec up
+// to burst; a request spends one token. No background goroutine: refill is
+// computed lazily from the elapsed time, and the map is pruned of full
+// buckets when it grows large, so idle clients cost nothing forever.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= 4096 {
+			l.pruneLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// pruneLocked drops buckets that have refilled completely — clients that
+// have been quiet long enough to be indistinguishable from new ones.
+func (l *rateLimiter) pruneLocked() {
+	now := time.Now()
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

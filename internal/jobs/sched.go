@@ -96,6 +96,18 @@ func (s *sched) stop(id string) {
 	}
 }
 
+// stopping lists the jobs currently marked to checkpoint-and-stop; the
+// manager signals their worker processes after each decide.
+func (s *sched) stopping() []string {
+	var ids []string
+	for _, e := range s.entries {
+		if e.state == schedStopping {
+			ids = append(ids, e.id)
+		}
+	}
+	return ids
+}
+
 // used returns the slots held by running and stopping jobs; stopping jobs
 // still occupy theirs until they reach a boundary.
 func (s *sched) used() int {

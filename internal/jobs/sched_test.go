@@ -213,3 +213,64 @@ func TestSchedRemoveReleasesSlots(t *testing.T) {
 		t.Fatalf("decide() after remove = %v, want [b]", got)
 	}
 }
+
+// TestSchedStopRacesLeaseExpiryOnSameBoundary pins the three-way collision
+// the process-worker supervisor made easy to hit: a running job reaches a
+// stage boundary at the exact moment its fair-share lease expires, a
+// priority preemption has already marked it stopping, and an explicit pause
+// lands on top. The stop decision must be idempotent (every onBoundary
+// call answers "stop", none of them double-counts the lease), the job's
+// slots must stay booked until it actually stops, and a single requeue must
+// restore a clean waiting entry.
+func TestSchedStopRacesLeaseExpiryOnSameBoundary(t *testing.T) {
+	s := newSched(2, 1) // quantum 1: the lease expires at every boundary
+	s.add("a", 1, 0, 2)
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("decide() = %v", got)
+	}
+	// A higher-priority waiter preempts "a"...
+	s.add("hi", 2, 5, 2)
+	if got := drive(t, s); got != nil {
+		t.Fatalf("decide started %v before the victim stopped", got)
+	}
+	if s.entries["a"].state != schedStopping {
+		t.Fatal("preemption never marked the victim")
+	}
+	// ...and a pause request arrives for the same job before its boundary.
+	s.stop("a")
+	if got := s.stopping(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("stopping() = %v, want [a]", got)
+	}
+	// The boundary where preemption, pause and lease expiry all land: stop,
+	// decided once, reported consistently on every (racing) query.
+	for i := 0; i < 2; i++ {
+		if !s.onBoundary("a") {
+			t.Fatalf("onBoundary call %d lost the stop decision", i+1)
+		}
+	}
+	if s.entries["a"].boundaries != 0 {
+		t.Fatal("a stopping job's boundary crossed counted against its lease")
+	}
+	// Until the worker really checkpoints and stops, the slots stay booked.
+	if got := drive(t, s); got != nil {
+		t.Fatalf("decide double-booked promised slots: %v", got)
+	}
+	// One requeue resolves the race: "a" waits cleanly, "hi" takes the pool.
+	s.requeue("a")
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"hi"}) {
+		t.Fatalf("decide() = %v, want [hi]", got)
+	}
+	e := s.entries["a"]
+	if e.state != schedWaiting || e.boundaries != 0 || e.passes != 1 {
+		t.Fatalf("requeued entry = %+v, want clean waiting with one pass", e)
+	}
+	// The lease machinery still works after the race: once "hi" finishes,
+	// "a" runs again and yields at its first boundary only to a real waiter.
+	s.remove("hi")
+	if got := drive(t, s); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("decide() = %v, want [a]", got)
+	}
+	if s.onBoundary("a") {
+		t.Fatal("lease-expiry stop fired with no eligible waiter")
+	}
+}

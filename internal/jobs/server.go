@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/dashboard"
 )
@@ -24,17 +26,60 @@ import (
 //	GET  /jobs/{id}/trace     the canonical JSONL trace file as written so far
 //	GET  /jobs/{id}/placement the final placement (designio format; done jobs)
 //	GET  /jobs/{id}/dashboard/  the live dashboard page for this job
-//	GET  /healthz             liveness probe
+//	GET  /healthz             liveness probe (is the process serving?)
+//	GET  /readyz              readiness probe (should it receive new work?):
+//	                          503 with a reason while draining or overloaded
+//	GET  /statusz             supervision metrics (restarts, quarantines,
+//	                          stalls, shed requests, worker/queue gauges)
+//
+// Overload and abuse protection on POST /jobs: submissions must be
+// application/json, bodies are hard-capped with http.MaxBytesReader, and a
+// per-client-IP token bucket plus the manager's queue-depth and disk guards
+// shed excess load with 503 + Retry-After rather than queue it unboundedly.
 //
 // Every byte a client streams or downloads is served from the same hub and
 // files that carry the canonical trace, so what the API shows is exactly
 // what the byte-identity contract covers.
 type Server struct {
-	m *Manager
+	m      *Manager
+	cfg    ServerConfig
+	limits *rateLimiter
 }
 
-// NewServer wraps a Manager.
-func NewServer(m *Manager) *Server { return &Server{m: m} }
+// ServerConfig parameterizes the HTTP protections.
+type ServerConfig struct {
+	// RatePerSec and Burst shape the per-client-IP token bucket on
+	// POST /jobs (defaults 5/s, burst 10; RatePerSec < 0 disables).
+	RatePerSec float64
+	Burst      int
+	// RetryAfter is the Retry-After value sent with 503 sheds (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *ServerConfig) fill() {
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 5
+	}
+	if c.Burst <= 0 {
+		c.Burst = 10
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// NewServer wraps a Manager with default protections.
+func NewServer(m *Manager) *Server { return NewServerWith(m, ServerConfig{}) }
+
+// NewServerWith wraps a Manager with explicit protection settings.
+func NewServerWith(m *Manager, cfg ServerConfig) *Server {
+	cfg.fill()
+	s := &Server{m: m, cfg: cfg}
+	if cfg.RatePerSec > 0 {
+		s.limits = newRateLimiter(cfg.RatePerSec, cfg.Burst)
+	}
+	return s
+}
 
 // Handler returns the server's http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -42,6 +87,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.readyz)
+	mux.HandleFunc("GET /statusz", s.statusz)
 	mux.HandleFunc("POST /jobs", s.submit)
 	mux.HandleFunc("GET /jobs", s.list)
 	mux.HandleFunc("GET /jobs/{id}", s.get)
@@ -55,13 +102,24 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// shed rejects a request with 503 + Retry-After — the graceful-degradation
+// contract: clients back off and retry instead of piling on.
+func (s *Server) shed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
 // fail maps manager errors onto HTTP statuses.
-func fail(w http.ResponseWriter, err error) {
+func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNoSuchJob):
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, ErrBadTransition):
 		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrStateDir):
+		// Both are operational, usually transient conditions: shed and let
+		// the client retry rather than report a permanent failure.
+		s.shed(w, err.Error())
 	case errors.Is(err, ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
@@ -76,21 +134,76 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.m.Ready(); !ok {
+		s.shed(w, reason)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) statusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.m.Stats())
+}
+
+// clientKey identifies the submitter for rate limiting: the remote IP
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
-	var spec Spec
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxPayloadBytes+1<<20))
+	if s.limits != nil && !s.limits.allow(clientKey(r), time.Now()) {
+		s.m.NoteShed()
+		s.shed(w, "rate limit exceeded for "+clientKey(r))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); !isJSONContentType(ct) {
+		http.Error(w, fmt.Sprintf("submit requires Content-Type application/json, got %q", ct),
+			http.StatusUnsupportedMediaType)
+		return
+	}
+	// MaxBytesReader (unlike a bare LimitReader) closes the connection and
+	// produces a typed error once the cap is crossed, so an oversized body
+	// cannot be streamed in full before being rejected.
+	body := http.MaxBytesReader(w, r.Body, maxPayloadBytes+1<<20)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
+	var spec Spec
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("spec exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	id, err := s.m.Submit(spec)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, map[string]string{"id": id})
+}
+
+func isJSONContentType(ct string) bool {
+	// application/json with optional parameters (charset); no multipart or
+	// form encodings.
+	for i := 0; i < len(ct); i++ {
+		if ct[i] == ';' {
+			ct = ct[:i]
+			break
+		}
+	}
+	for len(ct) > 0 && (ct[len(ct)-1] == ' ' || ct[len(ct)-1] == '\t') {
+		ct = ct[:len(ct)-1]
+	}
+	return ct == "application/json"
 }
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
@@ -100,7 +213,7 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	v, err := s.m.Get(r.PathValue("id"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, v)
@@ -111,12 +224,12 @@ func (s *Server) control(op func(*Manager, string) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := op(s.m, id); err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		v, err := s.m.Get(id)
 		if err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		writeJSON(w, v)
@@ -126,10 +239,14 @@ func (s *Server) control(op func(*Manager, string) error) http.HandlerFunc {
 // events streams the job's trace over SSE, exactly like the dashboard's
 // /events: backlog first (gap-free), then the live tail; `event: eof` when
 // the hub closes — for a terminal job that happens right after the backlog.
+//
+// The listener's WriteTimeout would sever a long-lived stream, so every
+// write extends its own deadline via the ResponseController, and a periodic
+// comment ping keeps half-dead connections detectable.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	hub, err := s.m.Hub(r.PathValue("id"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	fl, ok := w.(http.Flusher)
@@ -137,10 +254,12 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	send := func(line []byte) bool {
+		rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
 			line = line[:len(line)-1]
 		}
@@ -157,12 +276,21 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ping := time.NewTicker(15 * time.Second)
+	defer ping.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-ping.C:
+			rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			if _, werr := fmt.Fprint(w, ": ping\n\n"); werr != nil {
+				return
+			}
+			fl.Flush()
 		case line, chOK := <-sub.C():
 			if !chOK {
+				rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 				fmt.Fprint(w, "event: eof\ndata: {}\n\n")
 				fl.Flush()
 				return
@@ -177,7 +305,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	path, err := s.m.TracePath(r.PathValue("id"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
@@ -187,7 +315,7 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) placement(w http.ResponseWriter, r *http.Request) {
 	path, err := s.m.PlacementPath(r.PathValue("id"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -202,14 +330,18 @@ func (s *Server) dashboard(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	hub, err := s.m.Hub(id)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	view, err := s.m.Get(id)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
+	// The mounted dashboard manages no write deadlines of its own; give its
+	// connections (including its SSE stream) a long one so the listener's
+	// WriteTimeout does not sever live charts.
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(time.Hour))
 	title := fmt.Sprintf("%s — %s (job %s)", view.Design, view.Mode, id)
 	h := http.StripPrefix(fmt.Sprintf("/jobs/%s/dashboard", id),
 		dashboard.NewServer(hub, title).Handler())

@@ -19,7 +19,7 @@ func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
 	if cfg.Dir == "" {
 		cfg.Dir = t.TempDir()
 	}
-	m, err := Open(cfg)
+	m, err := Open(workerConfig(t, cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,4 +263,111 @@ func waitViewDone(t *testing.T, base, id string) JobView {
 	t.Helper()
 	waitViewState(t, base, id, StateDone)
 	return decodeJSON[JobView](t, mustGet(t, base+"/jobs/"+id))
+}
+
+// TestServerHardening pins the abuse-protection surface on POST /jobs:
+// wrong media types are 415, oversized bodies are 413 (cut off by
+// MaxBytesReader, not streamed in full), and the per-client rate limiter
+// sheds with 503 + Retry-After once the burst is spent.
+func TestServerHardening(t *testing.T) {
+	m, err := Open(workerConfig(t, Config{Dir: t.TempDir()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst 2, negligible refill: the third submit in a row must shed.
+	ts := httptest.NewServer(NewServerWith(m, ServerConfig{RatePerSec: 0.001, Burst: 2}).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+	})
+
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader("design=tiny_hot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain submit status = %d, want 415", resp.StatusCode)
+	}
+
+	// A payload past the MaxBytesReader cap (maxPayloadBytes + 1 MiB slack).
+	huge := fmt.Sprintf(`{"payload": %q}`, strings.Repeat("a", maxPayloadBytes+2<<20))
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit status = %d, want 413", resp.StatusCode)
+	}
+
+	// Burst spent (the two requests above drained the bucket): shed with
+	// Retry-After so clients back off instead of piling on.
+	resp = postJSON(t, ts.URL+"/jobs", fastSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-rate submit status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("rate-limit shed carries no Retry-After header")
+	}
+	if got := statValue(t, m, "supervise.shed_requests"); got != 1 {
+		t.Errorf("supervise.shed_requests = %v, want 1", got)
+	}
+}
+
+// TestServerReadyAndStatus covers the probe split — /healthz is pure
+// liveness, /readyz refuses new work with a reason when the queue is at
+// cap — and /statusz exposing the supervision metrics.
+func TestServerReadyAndStatus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Capacity: 1, MaxQueued: 1, Quantum: 1000})
+
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp := mustGet(t, ts.URL+probe)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d on an idle server", probe, resp.StatusCode)
+		}
+	}
+
+	// One running + one queued job puts the queue at its cap: still alive,
+	// no longer ready, and HTTP submits shed with 503 + Retry-After.
+	postJSON(t, ts.URL+"/jobs", fastSpec()).Body.Close()
+	postJSON(t, ts.URL+"/jobs", fastSpec()).Body.Close()
+	resp := postJSON(t, ts.URL+"/jobs", fastSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("over-cap submit = %d (Retry-After %q), want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp = mustGet(t, ts.URL+"/readyz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d with a full queue, want 503", resp.StatusCode)
+	}
+	if resp := mustGet(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d; liveness must not follow readiness", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	metrics := decodeJSON[[]map[string]any](t, mustGet(t, ts.URL+"/statusz"))
+	want := map[string]bool{
+		"supervise.restarts": false, "supervise.quarantines": false,
+		"supervise.stalls": false, "supervise.shed_requests": false,
+		"supervise.active_workers": false, "supervise.queued_jobs": false,
+		"supervise.heartbeat_age_ms": false,
+	}
+	for _, mt := range metrics {
+		if name, _ := mt["name"].(string); name != "" {
+			if _, ok := want[name]; ok {
+				want[name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("/statusz missing %s", name)
+		}
+	}
 }

@@ -23,22 +23,23 @@ var errTraceShort = errors.New("jobs: trace shorter than checkpoint's event coun
 // from 0, so exactly the first n lines precede the checkpoint.
 //
 // The rewrite is atomic (tmp + rename); when the file already has exactly n
-// lines it is left untouched. Fewer than n complete lines fails with
-// errTraceShort.
-func truncateTrace(path string, n int64) ([][]byte, error) {
+// lines it is left untouched and changed is false — the supervisor uses that
+// to keep the live hub (and its SSE subscribers) across clean boundary
+// stops, rebuilding the stream only when a crash actually rewrote the file.
+// Fewer than n complete lines fails with errTraceShort.
+func truncateTrace(path string, n int64) (lines [][]byte, changed bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) && n == 0 {
-			return nil, nil
+			return nil, false, nil
 		}
-		return nil, err
+		return nil, false, err
 	}
 	keep := 0 // byte length of the first n complete lines
-	var lines [][]byte
 	for int64(len(lines)) < n {
 		nl := bytes.IndexByte(data[keep:], '\n')
 		if nl < 0 {
-			return nil, fmt.Errorf("%w: %d of %d", errTraceShort, len(lines), n)
+			return nil, false, fmt.Errorf("%w: %d of %d", errTraceShort, len(lines), n)
 		}
 		line := make([]byte, nl+1)
 		copy(line, data[keep:keep+nl+1])
@@ -46,16 +47,16 @@ func truncateTrace(path string, n int64) ([][]byte, error) {
 		keep += nl + 1
 	}
 	if keep == len(data) {
-		return lines, nil
+		return lines, false, nil
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data[:keep], 0o644); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return lines, nil
+	return lines, true, nil
 }
 
 // readTraceLines returns the complete lines of a trace file (a torn final
@@ -84,23 +85,58 @@ func readTraceLines(path string) ([][]byte, error) {
 	return lines, nil
 }
 
-// writeFileAtomic writes data to path via a same-directory temp file and
-// rename, so readers (and a recovering manager) never observe a partial
-// file.
+// ErrStateDir marks a failed durability write in the manager's state
+// directory — disk full, a short write, a failed fsync or rename. The HTTP
+// layer maps it to 503 (the condition is operational and usually transient),
+// and the admission-control disk guard exists to shed load before writes
+// start failing this way.
+var ErrStateDir = errors.New("jobs: state directory write failed")
+
+// injectWriteErr, when non-nil, is consulted by writeFileAtomic before the
+// data write and simulates a disk fault for tests (returning ENOSPC-shaped
+// errors without actually filling a disk). Always nil in production.
+var injectWriteErr func(path string) error
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsyncs it, and renames it into place, so readers (and a recovering
+// manager) never observe a partial file and a machine crash immediately
+// after the rename cannot lose the contents. Every failure — including
+// disk-full short writes and fsync errors — surfaces as a typed
+// ErrStateDir so callers and the HTTP layer can distinguish "the state
+// directory is sick" from job-level failures.
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrStateDir, err)
 	}
 	name := tmp.Name()
-	_, werr := tmp.Write(data)
+	werr := injectedWriteErr(path)
+	if werr == nil {
+		_, werr = tmp.Write(data)
+	}
+	// fsync before rename: without it the rename can land while the data
+	// blocks are still only in the page cache, and a power cut would leave
+	// a complete-looking file full of zeros.
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
 	}
+	if werr == nil {
+		werr = os.Rename(name, path)
+	}
 	if werr != nil {
 		os.Remove(name)
-		return werr
+		return fmt.Errorf("%w: %s: %v", ErrStateDir, filepath.Base(path), werr)
 	}
-	return os.Rename(name, path)
+	return nil
+}
+
+func injectedWriteErr(path string) error {
+	if injectWriteErr == nil {
+		return nil
+	}
+	return injectWriteErr(path)
 }
